@@ -1,0 +1,53 @@
+package synchq
+
+import (
+	"synchq/internal/baseline"
+)
+
+// NewNaive returns the naive monitor-based synchronous queue the paper
+// presents as Listing 3: a single lock, a single item slot, and broadcast
+// wakeups. It supports only the demand operations Put and Take. It exists
+// for benchmarking and study.
+func NewNaive[T any]() Queue[T] { return baseline.NewNaive[T]() }
+
+// NewHanson returns Hanson's three-semaphore synchronous queue (the
+// paper's Listing 1). It supports only the demand operations Put and Take;
+// as the paper notes, the algorithm offers no simple way to support
+// timeout. It exists for benchmarking and study.
+func NewHanson[T any]() Queue[T] { return baseline.NewHanson[T]() }
+
+// Java5Queue is the interface of the Java SE 5.0-style baseline: the full
+// timed surface, but implemented with a single lock over two wait lists.
+type Java5Queue[T any] interface {
+	TimedQueue[T]
+}
+
+// NewJava5Fair returns the Java SE 5.0 SynchronousQueue algorithm in fair
+// mode: FIFO pairing under a FIFO-fair entry lock (the configuration whose
+// lock-handoff pileups the paper measures). It exists for benchmarking and
+// study.
+func NewJava5Fair[T any]() Java5Queue[T] { return baseline.NewJava5[T](true) }
+
+// NewJava5Unfair returns the Java SE 5.0 SynchronousQueue algorithm in
+// unfair mode: LIFO pairing under an ordinary mutex. It exists for
+// benchmarking and study.
+func NewJava5Unfair[T any]() Java5Queue[T] { return baseline.NewJava5[T](false) }
+
+// NewHansonFast returns Hanson's queue over fast-path semaphores, the
+// dl.util.concurrent streamlining the paper mentions in §3.1. Like
+// NewHanson it supports only the demand operations. It exists for
+// benchmarking and study.
+func NewHansonFast[T any]() Queue[T] { return baseline.NewHansonFast[T]() }
+
+// NewGoChannel returns a synchronous queue backed by an unbuffered Go
+// channel — the idiomatic Go rendezvous, provided as an extra baseline for
+// this reproduction (the paper predates Go).
+func NewGoChannel[T any]() TimedQueue[T] { return baseline.NewChannel[T]() }
+
+// Compile-time checks that the baselines satisfy the public interfaces.
+var (
+	_ Queue[int]      = (*baseline.Naive[int])(nil)
+	_ Queue[int]      = (*baseline.Hanson[int])(nil)
+	_ TimedQueue[int] = (*baseline.Java5[int])(nil)
+	_ TimedQueue[int] = (*baseline.Channel[int])(nil)
+)

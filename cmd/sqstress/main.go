@@ -1,0 +1,186 @@
+// Command sqstress is a long-running invariant stress tester for the
+// synchronous queue implementations. It drives a mixed workload — demand
+// puts/takes, timed offers/polls with random patience, and cancellation
+// storms — while recording a full operation history, then verifies
+// conservation (no value lost, duplicated, or invented) and synchrony
+// (every transfer's put and take intervals overlap).
+//
+// Usage:
+//
+//	sqstress -algo "New SynchQueue (fair)" -duration 10s -producers 8 -consumers 8
+//	sqstress -all -duration 2s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"synchq/internal/baseline"
+	"synchq/internal/bench"
+	"synchq/internal/core"
+	"synchq/internal/stats"
+	"synchq/internal/verify"
+)
+
+// timedSQ is the rich surface the stress mix needs.
+type timedSQ interface {
+	OfferTimeout(v int64, d time.Duration) bool
+	PollTimeout(d time.Duration) (int64, bool)
+}
+
+func newTimed(name string) timedSQ {
+	switch name {
+	case "SynchronousQueue":
+		return baseline.NewJava5[int64](false)
+	case "SynchronousQueue (fair)":
+		return baseline.NewJava5[int64](true)
+	case "New SynchQueue":
+		return core.NewDualStack[int64](core.WaitConfig{})
+	case "New SynchQueue (fair)":
+		return core.NewDualQueue[int64](core.WaitConfig{})
+	case "GoChannel":
+		return baseline.NewChannel[int64]()
+	default:
+		return nil
+	}
+}
+
+func main() {
+	var (
+		algo      = flag.String("algo", "New SynchQueue (fair)", "algorithm under test (bench registry name)")
+		all       = flag.Bool("all", false, "stress every timed algorithm in sequence")
+		duration  = flag.Duration("duration", 5*time.Second, "stress duration per algorithm")
+		producers = flag.Int("producers", 8, "producer goroutines")
+		consumers = flag.Int("consumers", 8, "consumer goroutines")
+		seed      = flag.Uint64("seed", 1, "PRNG seed for patience jitter")
+	)
+	flag.Parse()
+
+	names := []string{*algo}
+	if *all {
+		names = nil
+		for _, a := range bench.Algorithms(true) {
+			if newTimed(a.Name) != nil {
+				names = append(names, a.Name)
+			}
+		}
+	}
+
+	exit := 0
+	for _, name := range names {
+		q := newTimed(name)
+		if q == nil {
+			fmt.Fprintf(os.Stderr, "sqstress: algorithm %q lacks the timed interface\n", name)
+			os.Exit(2)
+		}
+		if !stress(name, q, *duration, *producers, *consumers, *seed) {
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+// stress runs the mixed workload and verifies the recorded history. It
+// returns true if every invariant held.
+func stress(name string, q timedSQ, d time.Duration, producers, consumers int, seed uint64) bool {
+	rec := verify.NewRecorder()
+	stop := make(chan struct{})
+	var offered, delivered, putTimeouts, pollTimeouts atomic.Int64
+	var wg sync.WaitGroup
+
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(id int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(seed, uint64(id)))
+			log := rec.NewThread()
+			for seq := int64(0); ; seq++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v := id<<40 | seq
+				patience := time.Duration(rng.IntN(2000)) * time.Microsecond
+				inv := log.Begin()
+				ok := q.OfferTimeout(v, patience)
+				log.End(verify.Put, v, inv, ok)
+				if ok {
+					offered.Add(1)
+				} else {
+					putTimeouts.Add(1)
+				}
+			}
+		}(int64(p))
+	}
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(id int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(seed+1000, uint64(id)))
+			log := rec.NewThread()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				patience := time.Duration(rng.IntN(2000)) * time.Microsecond
+				inv := log.Begin()
+				v, ok := q.PollTimeout(patience)
+				log.End(verify.Take, v, inv, ok)
+				if ok {
+					delivered.Add(1)
+				} else {
+					pollTimeouts.Add(1)
+				}
+			}
+		}(int64(c))
+	}
+
+	time.Sleep(d)
+	close(stop)
+	wg.Wait()
+
+	// Drain any value committed to a producer whose consumer had not yet
+	// recorded it (cannot happen for a synchronous queue, but the drain
+	// also catches implementation bugs that buffer values).
+	drainLog := rec.NewThread()
+	for {
+		inv := drainLog.Begin()
+		v, ok := q.PollTimeout(10 * time.Millisecond)
+		drainLog.End(verify.Take, v, inv, ok)
+		if !ok {
+			break
+		}
+		delivered.Add(1)
+	}
+
+	history := rec.History()
+	res := verify.Check(history, true)
+	status := "PASS"
+	if !res.Ok() || offered.Load() != delivered.Load() {
+		status = "FAIL"
+	}
+	fmt.Printf("%-28s %s  transfers=%d put-timeouts=%d poll-timeouts=%d\n",
+		name, status, res.Transfers, putTimeouts.Load(), pollTimeouts.Load())
+	putLat, takeLat := verify.Latencies(history)
+	if len(putLat) > 0 {
+		fmt.Printf("  put latency (ns):  %s\n", stats.Summarize(putLat))
+	}
+	if len(takeLat) > 0 {
+		fmt.Printf("  take latency (ns): %s\n", stats.Summarize(takeLat))
+	}
+	if offered.Load() != delivered.Load() {
+		fmt.Printf("  conservation: offered=%d delivered=%d\n", offered.Load(), delivered.Load())
+	}
+	for _, e := range res.Errors {
+		fmt.Printf("  violation: %s\n", e)
+	}
+	return status == "PASS"
+}

@@ -1,0 +1,187 @@
+package synchq_test
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"synchq"
+)
+
+// Conformance suite: every implementation reachable through the public API
+// must satisfy the synchronous hand-off contract. Queue implementations
+// get the demand contract; TimedQueue implementations additionally get the
+// polar/timed contract.
+
+func demandImpls() map[string]func() synchq.Queue[int] {
+	return map[string]func() synchq.Queue[int]{
+		"fair":        func() synchq.Queue[int] { return synchq.NewFair[int]() },
+		"unfair":      func() synchq.Queue[int] { return synchq.NewUnfair[int]() },
+		"naive":       func() synchq.Queue[int] { return synchq.NewNaive[int]() },
+		"hanson":      func() synchq.Queue[int] { return synchq.NewHanson[int]() },
+		"hansonfast":  func() synchq.Queue[int] { return synchq.NewHansonFast[int]() },
+		"java5fair":   func() synchq.Queue[int] { return synchq.NewJava5Fair[int]() },
+		"java5unfair": func() synchq.Queue[int] { return synchq.NewJava5Unfair[int]() },
+		"gochannel":   func() synchq.Queue[int] { return synchq.NewGoChannel[int]() },
+		"eliminating": func() synchq.Queue[int] {
+			return synchq.NewEliminating(synchq.NewUnfair[int](), 2, 20*time.Microsecond)
+		},
+		"transfer": func() synchq.Queue[int] { return transferAsQueue{synchq.NewTransferQueue[int]()} },
+	}
+}
+
+// transferAsQueue narrows TransferQueue to the demand contract using its
+// synchronous transfer mode.
+type transferAsQueue struct{ q *synchq.TransferQueue[int] }
+
+func (t transferAsQueue) Put(v int) { t.q.Transfer(v) }
+func (t transferAsQueue) Take() int { return t.q.Take() }
+
+func timedImpls() map[string]func() synchq.TimedQueue[int] {
+	return map[string]func() synchq.TimedQueue[int]{
+		"fair":        func() synchq.TimedQueue[int] { return synchq.NewFair[int]() },
+		"unfair":      func() synchq.TimedQueue[int] { return synchq.NewUnfair[int]() },
+		"java5fair":   func() synchq.TimedQueue[int] { return synchq.NewJava5Fair[int]() },
+		"java5unfair": func() synchq.TimedQueue[int] { return synchq.NewJava5Unfair[int]() },
+		"gochannel":   func() synchq.TimedQueue[int] { return synchq.NewGoChannel[int]() },
+		"eliminating": func() synchq.TimedQueue[int] {
+			return synchq.NewEliminating(synchq.NewUnfair[int](), 2, 20*time.Microsecond)
+		},
+		"transfer": func() synchq.TimedQueue[int] { return synchq.NewTransferQueue[int]() },
+	}
+}
+
+func TestConformanceDemandContract(t *testing.T) {
+	for name, mk := range demandImpls() {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			t.Run("handshake", func(t *testing.T) {
+				q := mk()
+				got := make(chan int)
+				go func() { got <- q.Take() }()
+				q.Put(1)
+				if v := <-got; v != 1 {
+					t.Fatalf("Take = %d, want 1", v)
+				}
+			})
+			t.Run("put-waits", func(t *testing.T) {
+				q := mk()
+				var returned atomic.Bool
+				go func() {
+					q.Put(2)
+					returned.Store(true)
+				}()
+				time.Sleep(15 * time.Millisecond)
+				if returned.Load() {
+					t.Fatal("Put returned with no consumer")
+				}
+				if v := q.Take(); v != 2 {
+					t.Fatalf("Take = %d, want 2", v)
+				}
+			})
+			t.Run("conservation", func(t *testing.T) {
+				q := mk()
+				const workers, per = 3, 200
+				var wg sync.WaitGroup
+				var sum atomic.Int64
+				for w := 0; w < workers; w++ {
+					wg.Add(2)
+					base := w * per
+					go func() {
+						defer wg.Done()
+						for i := 0; i < per; i++ {
+							q.Put(base + i)
+						}
+					}()
+					go func() {
+						defer wg.Done()
+						for i := 0; i < per; i++ {
+							sum.Add(int64(q.Take()))
+						}
+					}()
+				}
+				wg.Wait()
+				total := int64(workers * per)
+				if want := total * (total - 1) / 2; sum.Load() != want {
+					t.Fatalf("sum = %d, want %d", sum.Load(), want)
+				}
+			})
+		})
+	}
+}
+
+func TestConformanceTimedContract(t *testing.T) {
+	for name, mk := range timedImpls() {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			q := mk()
+			if q.Offer(1) {
+				t.Fatal("Offer succeeded with no consumer")
+			}
+			if _, ok := q.Poll(); ok {
+				t.Fatal("Poll succeeded with no producer")
+			}
+			if q.OfferTimeout(1, 5*time.Millisecond) {
+				t.Fatal("OfferTimeout succeeded with no consumer")
+			}
+			if _, ok := q.PollTimeout(5 * time.Millisecond); ok {
+				t.Fatal("PollTimeout succeeded with no producer")
+			}
+			// Patience rewarded on both sides.
+			go func() {
+				time.Sleep(5 * time.Millisecond)
+				q.Put(7)
+			}()
+			if v, ok := q.PollTimeout(5 * time.Second); !ok || v != 7 {
+				t.Fatalf("PollTimeout = (%d,%v), want (7,true)", v, ok)
+			}
+			done := make(chan int)
+			go func() { done <- q.Take() }()
+			if !q.OfferTimeout(8, 5*time.Second) {
+				t.Fatal("OfferTimeout failed with a consumer en route")
+			}
+			if v := <-done; v != 8 {
+				t.Fatalf("Take = %d, want 8", v)
+			}
+		})
+	}
+}
+
+func TestConformanceTimedRace(t *testing.T) {
+	// Producer and consumer with equal tiny patience must always agree.
+	for name, mk := range timedImpls() {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			q := mk()
+			for i := 0; i < 100; i++ {
+				got := make(chan bool, 1)
+				go func() {
+					_, ok := q.PollTimeout(500 * time.Microsecond)
+					got <- ok
+				}()
+				sent := q.OfferTimeout(i, 500*time.Microsecond)
+				received := <-got
+				if sent != received {
+					t.Fatalf("iteration %d: sent=%v received=%v", i, sent, received)
+				}
+			}
+			// Whatever happened, nothing may be left behind.
+			if v, ok := q.Poll(); ok {
+				t.Fatalf("straggler value %d after balanced timed race", v)
+			}
+		})
+	}
+}
+
+// Guard against accidental interface regressions: the constructor results
+// must keep satisfying the advertised interfaces.
+var _ = func() bool {
+	for n, mk := range demandImpls() {
+		if mk() == nil {
+			panic(fmt.Sprintf("nil queue from %s", n))
+		}
+	}
+	return true
+}()

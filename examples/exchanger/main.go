@@ -1,0 +1,95 @@
+// Exchanger: pairwise buffer swapping through the elimination-based
+// exchange channel (Scherer, Lea & Scott 2005), the structure behind the
+// paper's §5 elimination discussion.
+//
+// A classic use: double-buffering between a filler and a drainer. The
+// filler fills a buffer while the drainer empties the other; when both are
+// ready they *swap* buffers through the Exchanger in one rendezvous — no
+// allocation, no copying, no queue.
+//
+// The second part demonstrates a genetic-algorithm-style population mixer:
+// worker goroutines pair up anonymously and trade random elements of their
+// populations, a workload where any two partners are equally useful and
+// elimination spreads the meeting points under contention.
+//
+// Run with:
+//
+//	go run ./examples/exchanger
+package main
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"synchq"
+)
+
+func main() {
+	doubleBuffering()
+	populationMixing()
+}
+
+func doubleBuffering() {
+	fmt.Println("— double buffering —")
+	x := synchq.NewExchanger[[]int]()
+	const rounds = 3
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+
+	// Filler: fills its current buffer, then trades it for an empty one.
+	go func() {
+		defer wg.Done()
+		buf := make([]int, 0, 4)
+		for r := 0; r < rounds; r++ {
+			for i := 0; i < 4; i++ {
+				buf = append(buf, r*10+i)
+			}
+			buf = x.Exchange(buf) // full out, empty in
+		}
+	}()
+
+	// Drainer: hands over an empty buffer, receives a full one, drains it.
+	go func() {
+		defer wg.Done()
+		buf := make([]int, 0, 4)
+		for r := 0; r < rounds; r++ {
+			full := x.Exchange(buf[:0])
+			fmt.Printf("drained round %d: %v\n", r, full)
+			buf = full
+		}
+	}()
+	wg.Wait()
+}
+
+func populationMixing() {
+	fmt.Println("— population mixing —")
+	x := synchq.NewExchanger[int]()
+	const workers = 6
+	const generations = 200
+
+	sums := make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(id), 42))
+			fitness := id * 100 // each worker starts with a distinctive gene pool
+			for g := 0; g < generations; g++ {
+				gene := fitness + rng.IntN(10)
+				// Trade with whoever shows up; with an odd party
+				// count a worker could wait forever, so bounded
+				// patience keeps the system live.
+				if got, ok := x.ExchangeTimeout(gene, 10*time.Millisecond); ok {
+					fitness = (fitness + got) / 2
+				}
+			}
+			sums[id] = fitness
+		}(w)
+	}
+	wg.Wait()
+	fmt.Println("final fitness per worker (mixed toward each other):", sums)
+}

@@ -1,0 +1,94 @@
+// Loadbalancer: a messaging front-end over a TransferQueue, the paper's §5
+// scenario of "messaging frameworks that allow messages to be either
+// synchronous or asynchronous."
+//
+// A dispatcher routes requests to a crew of workers through one
+// TransferQueue. Fire-and-forget events use Put (asynchronous: the
+// dispatcher never waits). Request/replies use Transfer (synchronous: the
+// dispatcher's hand-off completes only when a worker has the message, so a
+// timed TryTransfer doubles as an instant "are all workers busy?" probe
+// that triggers shedding).
+//
+// Run with:
+//
+//	go run ./examples/loadbalancer
+package main
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"synchq"
+)
+
+// Message is either an asynchronous event or a synchronous request
+// carrying a reply channel.
+type Message struct {
+	ID    int
+	Event string
+	Reply chan string // nil for fire-and-forget events
+}
+
+func main() {
+	q := synchq.NewTransferQueue[Message]()
+	var handled, shed atomic.Int64
+
+	// Worker crew.
+	const workers = 3
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for {
+				m, ok := q.PollTimeout(50 * time.Millisecond)
+				if !ok {
+					select {
+					case <-stop:
+						return
+					default:
+						continue
+					}
+				}
+				time.Sleep(2 * time.Millisecond) // simulated work
+				handled.Add(1)
+				if m.Reply != nil {
+					m.Reply <- fmt.Sprintf("worker %d served request %d", id, m.ID)
+				}
+			}
+		}(w)
+	}
+
+	// Fire-and-forget events: Put never blocks the dispatcher, even when
+	// every worker is busy — the events buffer in arrival order.
+	for i := 0; i < 10; i++ {
+		q.Put(Message{ID: i, Event: "audit-log"})
+	}
+	fmt.Println("dispatched 10 async events without waiting")
+
+	// Synchronous requests: hand off directly to a worker, shedding load
+	// when no worker becomes free within the deadline.
+	for i := 100; i < 110; i++ {
+		reply := make(chan string, 1)
+		m := Message{ID: i, Reply: reply}
+		if q.TransferTimeout(m, 10*time.Millisecond) {
+			fmt.Println(<-reply)
+		} else {
+			shed.Add(1)
+			fmt.Printf("request %d shed: all workers busy\n", i)
+		}
+	}
+
+	// Drain: wait for the async backlog to be consumed.
+	deadline := time.Now().Add(5 * time.Second)
+	for q.HasBufferedData() && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	fmt.Printf("handled=%d shed=%d buffered-left=%v\n",
+		handled.Load(), shed.Load(), q.HasBufferedData())
+}

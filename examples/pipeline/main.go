@@ -1,0 +1,80 @@
+// Pipeline: stream-style "hand-off" processing, one of the motivating
+// applications the paper cites for synchronous queues.
+//
+// Three stages — tokenize, transform, emit — are connected by fair
+// synchronous queues, so the pipeline has zero internal buffering: a stage
+// finishing an item hands it directly to the next stage and observes
+// backpressure immediately. A context cancels the whole pipeline
+// mid-stream, demonstrating the cancellation-aware operations; the
+// shutdown is clean because no element can be stranded in a buffer.
+//
+// Run with:
+//
+//	go run ./examples/pipeline
+package main
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"synchq"
+)
+
+func main() {
+	words := synchq.NewFair[string]()
+	shouts := synchq.NewFair[string]()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	done := make(chan struct{})
+
+	// Stage 1: tokenize a document and hand each word off.
+	go func() {
+		text := "the quick brown fox jumps over the lazy dog and keeps running forever"
+		for _, w := range strings.Fields(text) {
+			if err := words.PutContext(ctx, w); err != nil {
+				fmt.Println("tokenizer: stopping:", err)
+				return
+			}
+		}
+	}()
+
+	// Stage 2: transform each word and hand it onward.
+	go func() {
+		for {
+			w, err := words.TakeContext(ctx)
+			if err != nil {
+				fmt.Println("transformer: stopping:", err)
+				return
+			}
+			out := strings.ToUpper(w) + "!"
+			if err := shouts.PutContext(ctx, out); err != nil {
+				fmt.Println("transformer: stopping:", err)
+				return
+			}
+		}
+	}()
+
+	// Stage 3: emit the first eight results, then cancel everything.
+	go func() {
+		defer close(done)
+		for i := 0; i < 8; i++ {
+			s, err := shouts.TakeContext(ctx)
+			if err != nil {
+				fmt.Println("emitter: stopping:", err)
+				return
+			}
+			fmt.Printf("emit %d: %s\n", i+1, s)
+		}
+		fmt.Println("emitter: done — cancelling the rest of the stream")
+		cancel()
+	}()
+
+	<-done
+	// Give the upstream stages a moment to observe cancellation.
+	time.Sleep(50 * time.Millisecond)
+	fmt.Println("pipeline: shut down with no buffered residue:",
+		words.IsEmpty() && shouts.IsEmpty())
+}

@@ -1,0 +1,87 @@
+// Threadpool: the paper's "real-world" scenario — a cached thread pool
+// whose task hand-off runs through a synchronous queue, the Go analogue of
+// java.util.concurrent.ThreadPoolExecutor with newCachedThreadPool.
+//
+// The pool grows when a burst of tasks arrives faster than idle workers
+// can absorb it, hands tasks directly to idle workers when it can (the
+// synchronous queue's Offer succeeds only if a worker is waiting in Poll),
+// and shrinks again when workers see no work for the keep-alive interval.
+// The example prints the pool's vital signs after each phase so the
+// grow/handoff/shrink lifecycle is visible.
+//
+// Run with:
+//
+//	go run ./examples/threadpool
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"synchq"
+	"synchq/pool"
+)
+
+func main() {
+	q := synchq.NewUnfair[pool.Task]()
+	p := pool.New(q, pool.Config{
+		KeepAlive: 200 * time.Millisecond,
+	})
+
+	report := func(phase string) {
+		st := p.Stats()
+		fmt.Printf("%-22s live=%-3d spawned=%-3d completed=%-4d handoffs=%d\n",
+			phase, st.Live, st.Spawned, st.Completed, st.Handoffs)
+	}
+
+	// Phase 1: a burst of slow tasks forces the pool to grow — no worker
+	// is ever idle, so every submission spawns.
+	var burst sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		burst.Add(1)
+		if err := p.Submit(func() {
+			defer burst.Done()
+			time.Sleep(50 * time.Millisecond) // simulated work
+		}); err != nil {
+			panic(err)
+		}
+	}
+	burst.Wait()
+	report("after burst:")
+
+	// Phase 2: a trickle of quick tasks is served by idle workers via
+	// synchronous hand-off; the pool should not grow further.
+	for i := 0; i < 100; i++ {
+		var one sync.WaitGroup
+		one.Add(1)
+		if err := p.Submit(func() { one.Done() }); err != nil {
+			panic(err)
+		}
+		one.Wait()
+	}
+	report("after trickle:")
+
+	// Phase 3: idle beyond keep-alive: workers retire themselves.
+	time.Sleep(500 * time.Millisecond)
+	report("after idle period:")
+
+	// Futures: submit work with a result.
+	fut, err := pool.SubmitFunc(p, func() (int, error) {
+		sum := 0
+		for i := 1; i <= 1000; i++ {
+			sum += i
+		}
+		return sum, nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	if v, err := fut.Get(); err == nil {
+		fmt.Println("future result:", v)
+	}
+
+	p.Shutdown()
+	p.Wait()
+	report("after shutdown:")
+}

@@ -1,0 +1,142 @@
+package synchq
+
+import (
+	"context"
+	"time"
+
+	"synchq/internal/exchanger"
+)
+
+// Exchanger is a synchronization point at which pairs of goroutines swap
+// values: each party presents a value to Exchange and receives its
+// partner's. It is the elimination-based swap channel of Scherer, Lea &
+// Scott (2005) that the paper's §5 elimination discussion builds on; under
+// high contention, meetings are spread across an arena of cache-padded
+// slots rather than funneling through one word.
+//
+// Construct one with NewExchanger; an Exchanger must not be copied after
+// first use.
+type Exchanger[T any] struct {
+	e *exchanger.Exchanger[T]
+}
+
+// NewExchanger returns an Exchanger with a platform-sized elimination
+// arena.
+func NewExchanger[T any]() *Exchanger[T] {
+	return &Exchanger[T]{e: exchanger.New[T]()}
+}
+
+// NewExchangerSize returns an Exchanger with an arena of exactly slots
+// cells (minimum 1); exposed so the arena size can be studied.
+func NewExchangerSize[T any](slots int) *Exchanger[T] {
+	return &Exchanger[T]{e: exchanger.NewSize[T](slots)}
+}
+
+// Exchange presents v, waits for a partner, and returns the partner's
+// value.
+func (x *Exchanger[T]) Exchange(v T) T { return x.e.Exchange(v) }
+
+// ExchangeTimeout is Exchange with patience d; ok is false if no partner
+// arrived in time.
+func (x *Exchanger[T]) ExchangeTimeout(v T, d time.Duration) (T, bool) {
+	return x.e.ExchangeTimeout(v, d)
+}
+
+// ExchangeContext is Exchange abandoned when ctx is done; it returns
+// ctx.Err() on cancellation and ErrTimeout on context deadline expiry.
+func (x *Exchanger[T]) ExchangeContext(ctx context.Context, v T) (T, error) {
+	if deadline, ok := ctx.Deadline(); ok {
+		// Race the deadline and the cancel channel exactly as the
+		// queues do: patience first, cancellation checked throughout.
+		got, ok := x.e.ExchangeTimeout(v, time.Until(deadline))
+		if ok {
+			return got, nil
+		}
+		var zero T
+		if err := ctx.Err(); err != nil {
+			return zero, err
+		}
+		return zero, ErrTimeout
+	}
+	got, st := x.e.ExchangeCancel(v, ctx.Done())
+	if st == exchanger.OK {
+		return got, nil
+	}
+	var zero T
+	return zero, ctx.Err()
+}
+
+// EliminatingQueue wraps a synchronous queue with an elimination arena
+// front-end: Put and Take first try, with a very short patience, to meet a
+// counterpart in the arena, and only fall back to the underlying queue on
+// failure. This is the paper's §5 future-work experiment; as the paper
+// anticipates, it pays off only under extreme contention (see Ablation C
+// in EXPERIMENTS.md).
+type EliminatingQueue[T any] struct {
+	q        *SynchronousQueue[T]
+	arena    *exchanger.Arena[T]
+	patience time.Duration
+}
+
+// NewEliminating wraps q with an elimination front-end. patience bounds
+// the arena attempt on each Put/Take (a few microseconds is typical);
+// slots sizes the arena (0 for the platform default).
+func NewEliminating[T any](q *SynchronousQueue[T], slots int, patience time.Duration) *EliminatingQueue[T] {
+	if patience <= 0 {
+		patience = 5 * time.Microsecond
+	}
+	return &EliminatingQueue[T]{q: q, arena: exchanger.NewArena[T](slots), patience: patience}
+}
+
+// Put transfers v to a consumer — via the arena if one is met there in
+// time, otherwise through the underlying queue.
+func (e *EliminatingQueue[T]) Put(v T) {
+	if e.arena.TryGive(v, e.patience) {
+		return
+	}
+	e.q.Put(v)
+}
+
+// Take receives a value from a producer — via the arena if one is met
+// there in time, otherwise through the underlying queue.
+func (e *EliminatingQueue[T]) Take() T {
+	if v, ok := e.arena.TryTake(e.patience); ok {
+		return v
+	}
+	return e.q.Take()
+}
+
+// Offer transfers v only if a counterpart is immediately available in the
+// underlying queue (the arena requires waiting, so it takes no part in
+// zero-patience operations).
+func (e *EliminatingQueue[T]) Offer(v T) bool { return e.q.Offer(v) }
+
+// Poll receives a value only if a counterpart is immediately available in
+// the underlying queue.
+func (e *EliminatingQueue[T]) Poll() (T, bool) { return e.q.Poll() }
+
+// OfferTimeout transfers v, trying the arena first and then waiting on the
+// underlying queue for the remaining patience.
+func (e *EliminatingQueue[T]) OfferTimeout(v T, d time.Duration) bool {
+	deadline := time.Now().Add(d)
+	if d > e.patience {
+		if e.arena.TryGive(v, e.patience) {
+			return true
+		}
+	}
+	return e.q.OfferTimeout(v, time.Until(deadline))
+}
+
+// PollTimeout receives a value, trying the arena first and then waiting on
+// the underlying queue for the remaining patience.
+func (e *EliminatingQueue[T]) PollTimeout(d time.Duration) (T, bool) {
+	deadline := time.Now().Add(d)
+	if d > e.patience {
+		if v, ok := e.arena.TryTake(e.patience); ok {
+			return v, true
+		}
+	}
+	return e.q.PollTimeout(time.Until(deadline))
+}
+
+var _ TimedQueue[int] = (*EliminatingQueue[int])(nil)

@@ -1,0 +1,3 @@
+module synchq
+
+go 1.22

@@ -1,0 +1,80 @@
+package baseline
+
+import (
+	"time"
+)
+
+// Channel adapts an unbuffered Go channel to the synchronous queue
+// interface. It is not one of the paper's comparators — the paper predates
+// Go — but it is the idiomatic Go rendezvous primitive and therefore the
+// natural extra baseline for a Go reproduction: an unbuffered channel send
+// completes only when a receiver takes the value, which is exactly
+// synchronous hand-off. The runtime services waiting senders and receivers
+// in FIFO order, so it is closest in spirit to the fair algorithms. Use
+// NewChannel to create one.
+type Channel[T any] struct {
+	ch chan T
+}
+
+// NewChannel returns a synchronous queue backed by an unbuffered channel.
+func NewChannel[T any]() *Channel[T] {
+	return &Channel[T]{ch: make(chan T)}
+}
+
+// Put transfers v, waiting for a consumer.
+func (q *Channel[T]) Put(v T) { q.ch <- v }
+
+// Take receives a value, waiting for a producer.
+func (q *Channel[T]) Take() T { return <-q.ch }
+
+// Offer transfers v only if a consumer is already waiting.
+func (q *Channel[T]) Offer(v T) bool {
+	select {
+	case q.ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// OfferTimeout transfers v, waiting up to d for a consumer.
+func (q *Channel[T]) OfferTimeout(v T, d time.Duration) bool {
+	if d <= 0 {
+		return q.Offer(v)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case q.ch <- v:
+		return true
+	case <-t.C:
+		return false
+	}
+}
+
+// Poll receives a value only if a producer is already waiting.
+func (q *Channel[T]) Poll() (T, bool) {
+	select {
+	case v := <-q.ch:
+		return v, true
+	default:
+		var zero T
+		return zero, false
+	}
+}
+
+// PollTimeout receives a value, waiting up to d for a producer.
+func (q *Channel[T]) PollTimeout(d time.Duration) (T, bool) {
+	if d <= 0 {
+		return q.Poll()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case v := <-q.ch:
+		return v, true
+	case <-t.C:
+		var zero T
+		return zero, false
+	}
+}

@@ -1,0 +1,86 @@
+package baseline
+
+import (
+	"synchq/internal/sem"
+)
+
+// Hanson is Hanson's classic synchronous queue (Listing 1), built from
+// three semaphores: sync indicates whether item is valid, send holds one
+// minus the number of pending puts, and recv holds zero minus the number of
+// pending takes. Every transfer costs three synchronization events per side
+// and normally blocks at least once per operation — the overhead the paper
+// is written to eliminate. As the paper notes, the algorithm offers no
+// simple way to support timeout, so Hanson provides only the demand
+// operations Put and Take. Use NewHanson to create one.
+type Hanson[T any] struct {
+	item T
+	sync *sem.Semaphore
+	send *sem.Semaphore
+	recv *sem.Semaphore
+}
+
+// NewHanson returns an empty Hanson synchronous queue.
+func NewHanson[T any]() *Hanson[T] {
+	return &Hanson[T]{
+		sync: sem.New(0),
+		send: sem.New(1),
+		recv: sem.New(0),
+	}
+}
+
+// Take receives a value, waiting for a producer (Listing 1, lines 06–12).
+func (q *Hanson[T]) Take() T {
+	q.recv.Acquire()
+	x := q.item
+	q.sync.Release()
+	q.send.Release()
+	return x
+}
+
+// Put transfers v, waiting for a consumer (Listing 1, lines 14–19).
+func (q *Hanson[T]) Put(v T) {
+	q.send.Acquire()
+	q.item = v
+	q.recv.Release()
+	q.sync.Acquire()
+}
+
+// HansonFast is Hanson's queue over fast-path semaphores (sem.Fast): the
+// "streamlined synchronization points in common execution scenarios by
+// using a fast-path acquire sequence" configuration the paper attributes
+// to early releases of dl.util.concurrent (§3.1). The algorithm is
+// identical; only the semaphore implementation changes, which isolates
+// how much of Hanson's cost is semaphore overhead versus the protocol's
+// six synchronization events. Use NewHansonFast to create one.
+type HansonFast[T any] struct {
+	item T
+	sync *sem.Fast
+	send *sem.Fast
+	recv *sem.Fast
+}
+
+// NewHansonFast returns an empty fast-path Hanson queue.
+func NewHansonFast[T any]() *HansonFast[T] {
+	return &HansonFast[T]{
+		sync: sem.NewFast(0),
+		send: sem.NewFast(1),
+		recv: sem.NewFast(0),
+	}
+}
+
+// Take receives a value, waiting for a producer.
+func (q *HansonFast[T]) Take() T {
+	q.recv.Acquire()
+	x := q.item
+	q.sync.Release()
+	q.send.Release()
+	return x
+}
+
+// Put transfers v, waiting for a consumer.
+func (q *HansonFast[T]) Put(v T) {
+	q.send.Acquire()
+	q.item = v
+	q.recv.Release()
+	q.sync.Acquire()
+}

@@ -1,0 +1,62 @@
+// Package baseline implements the synchronous queue algorithms the paper
+// compares against: the naive monitor-based queue (Listing 3), Hanson's
+// three-semaphore queue (Listing 1), the Java SE 5.0 SynchronousQueue in
+// both fair (two FIFO queues) and unfair (two stacks) modes (Listing 4),
+// and — as a Go-native comparator not in the paper — an unbuffered channel.
+//
+// All baselines transfer values of a type parameter T and, where the
+// original algorithm supports it, provide the same poll/offer/timeout
+// surface as the paper's new algorithms so the benchmark harness can drive
+// every implementation uniformly.
+package baseline
+
+import (
+	"synchq/internal/monitor"
+)
+
+// Naive is the naive monitor-based synchronous queue of Listing 3: a single
+// monitor serializes access to a single item slot and a putting flag, and
+// every state change awakens all waiting threads — the quadratic-wakeup
+// pattern responsible for its poor performance. Use NewNaive to create
+// one.
+type Naive[T any] struct {
+	mon     monitor.Monitor
+	putting bool
+	item    *T
+}
+
+// NewNaive returns an empty naive synchronous queue.
+func NewNaive[T any]() *Naive[T] {
+	return &Naive[T]{}
+}
+
+// Take receives a value, waiting for a producer (Listing 3, lines 04–11).
+func (q *Naive[T]) Take() T {
+	q.mon.Lock()
+	defer q.mon.Unlock()
+	for q.item == nil {
+		q.mon.Wait()
+	}
+	e := *q.item
+	q.item = nil
+	q.mon.NotifyAll()
+	return e
+}
+
+// Put transfers v, waiting both for its turn to insert and for a consumer
+// to take the item (Listing 3, lines 13–24).
+func (q *Naive[T]) Put(v T) {
+	q.mon.Lock()
+	defer q.mon.Unlock()
+	for q.putting {
+		q.mon.Wait()
+	}
+	q.putting = true
+	q.item = &v
+	q.mon.NotifyAll()
+	for q.item != nil {
+		q.mon.Wait()
+	}
+	q.putting = false
+	q.mon.NotifyAll()
+}

@@ -1,0 +1,209 @@
+// Package bench is the measurement harness that regenerates the paper's
+// evaluation: synchronous hand-off microbenchmarks at producer:consumer
+// ratios N:N (Figure 3), 1:N (Figure 4), and N:1 (Figure 5), and the
+// cached-thread-pool macrobenchmark (Figure 6), each swept over the
+// paper's concurrency levels with one series per algorithm.
+package bench
+
+import (
+	"sync"
+	"time"
+
+	"synchq/internal/baseline"
+	"synchq/internal/core"
+	"synchq/internal/verify"
+	"synchq/pool"
+)
+
+// SQ is the minimal surface the hand-off benchmarks drive. Payloads are
+// int64 so values can encode producer ID and sequence number for
+// verification.
+type SQ interface {
+	Put(int64)
+	Take() int64
+}
+
+// Algorithm describes one benchmarked implementation.
+type Algorithm struct {
+	// Name matches the series label used in the paper's figure legends
+	// where applicable.
+	Name string
+	// New constructs a fresh queue for a measurement.
+	New func() SQ
+	// NewPoolQueue constructs the queue as a thread-pool hand-off
+	// channel, or is nil if the algorithm lacks the timed interface the
+	// pool needs (Hanson, Naive — the paper likewise omits them from
+	// Figure 6).
+	NewPoolQueue func() pool.Queue
+	// Extra marks algorithms beyond the paper's five series (the Go
+	// channel and the naive monitor queue).
+	Extra bool
+}
+
+// Algorithms returns the benchmarked implementations in the paper's legend
+// order; with extras, the Go-native channel and the naive queue are
+// appended.
+func Algorithms(extras bool) []Algorithm {
+	algos := []Algorithm{
+		{
+			Name:         "SynchronousQueue",
+			New:          func() SQ { return baseline.NewJava5[int64](false) },
+			NewPoolQueue: func() pool.Queue { return baseline.NewJava5[pool.Task](false) },
+		},
+		{
+			Name:         "SynchronousQueue (fair)",
+			New:          func() SQ { return baseline.NewJava5[int64](true) },
+			NewPoolQueue: func() pool.Queue { return baseline.NewJava5[pool.Task](true) },
+		},
+		{
+			Name: "HansonSQ",
+			New:  func() SQ { return baseline.NewHanson[int64]() },
+		},
+		{
+			Name:         "New SynchQueue",
+			New:          func() SQ { return core.NewDualStack[int64](core.WaitConfig{}) },
+			NewPoolQueue: func() pool.Queue { return core.NewDualStack[pool.Task](core.WaitConfig{}) },
+		},
+		{
+			Name:         "New SynchQueue (fair)",
+			New:          func() SQ { return core.NewDualQueue[int64](core.WaitConfig{}) },
+			NewPoolQueue: func() pool.Queue { return core.NewDualQueue[pool.Task](core.WaitConfig{}) },
+		},
+	}
+	if extras {
+		algos = append(algos,
+			Algorithm{
+				Name:         "GoChannel",
+				New:          func() SQ { return chanSQ{baseline.NewChannel[int64]()} },
+				NewPoolQueue: func() pool.Queue { return baseline.NewChannel[pool.Task]() },
+				Extra:        true,
+			},
+			Algorithm{
+				Name:  "NaiveSQ",
+				New:   func() SQ { return baseline.NewNaive[int64]() },
+				Extra: true,
+			},
+			Algorithm{
+				Name:  "HansonSQ (fastpath)",
+				New:   func() SQ { return baseline.NewHansonFast[int64]() },
+				Extra: true,
+			},
+		)
+	}
+	return algos
+}
+
+// chanSQ adapts the channel baseline (whose Take returns T) to SQ.
+type chanSQ struct{ c *baseline.Channel[int64] }
+
+func (s chanSQ) Put(v int64) { s.c.Put(v) }
+func (s chanSQ) Take() int64 { return s.c.Take() }
+
+// ByName returns the named algorithm.
+func ByName(name string) (Algorithm, bool) {
+	for _, a := range Algorithms(true) {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return Algorithm{}, false
+}
+
+// HandoffResult is one hand-off measurement.
+type HandoffResult struct {
+	Producers int
+	Consumers int
+	Transfers int64
+	Elapsed   time.Duration
+}
+
+// NsPerTransfer returns the figure metric: average wall nanoseconds per
+// transferred value.
+func (r HandoffResult) NsPerTransfer() float64 {
+	if r.Transfers == 0 {
+		return 0
+	}
+	return float64(r.Elapsed.Nanoseconds()) / float64(r.Transfers)
+}
+
+// split divides total into n near-equal non-negative quotas.
+func split(total int64, n int) []int64 {
+	q := make([]int64, n)
+	base := total / int64(n)
+	rem := total % int64(n)
+	for i := range q {
+		q[i] = base
+		if int64(i) < rem {
+			q[i]++
+		}
+	}
+	return q
+}
+
+// encode packs a producer ID and sequence number into a unique value.
+func encode(producer int, seq int64) int64 { return int64(producer)<<40 | seq }
+
+// RunHandoff drives producers and consumers that transfer exactly
+// `transfers` values through q as fast as they can — the paper's limiting
+// case of producer-consumer applications as per-element processing cost
+// approaches zero — and reports the elapsed wall time. If rec is non-nil,
+// every operation is recorded for verification.
+func RunHandoff(q SQ, producers, consumers int, transfers int64, rec *verify.Recorder) HandoffResult {
+	putQuota := split(transfers, producers)
+	takeQuota := split(transfers, consumers)
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+
+	for i := 0; i < producers; i++ {
+		wg.Add(1)
+		go func(id int, quota int64) {
+			defer wg.Done()
+			var log *verify.ThreadLog
+			if rec != nil {
+				log = rec.NewThread()
+			}
+			<-start
+			for seq := int64(0); seq < quota; seq++ {
+				v := encode(id, seq)
+				if log != nil {
+					inv := log.Begin()
+					q.Put(v)
+					log.End(verify.Put, v, inv, true)
+				} else {
+					q.Put(v)
+				}
+			}
+		}(i, putQuota[i])
+	}
+	for i := 0; i < consumers; i++ {
+		wg.Add(1)
+		go func(quota int64) {
+			defer wg.Done()
+			var log *verify.ThreadLog
+			if rec != nil {
+				log = rec.NewThread()
+			}
+			<-start
+			for seq := int64(0); seq < quota; seq++ {
+				if log != nil {
+					inv := log.Begin()
+					v := q.Take()
+					log.End(verify.Take, v, inv, true)
+				} else {
+					q.Take()
+				}
+			}
+		}(takeQuota[i])
+	}
+
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	return HandoffResult{
+		Producers: producers,
+		Consumers: consumers,
+		Transfers: transfers,
+		Elapsed:   time.Since(t0),
+	}
+}

@@ -1,0 +1,101 @@
+// Package core implements the paper's primary contribution: two
+// nonblocking, contention-free synchronous queues built as dual data
+// structures.
+//
+//   - DualQueue is the fair (FIFO) algorithm of §3.3 "The synchronous dual
+//     queue": a Michael&Scott-style linked list that holds either data
+//     nodes or reservation nodes, never both, with producers now waiting in
+//     the structure just as consumers do.
+//   - DualStack is the unfair (LIFO) algorithm of §3.3 "The synchronous dual
+//     stack": a Treiber-style stack in which a fulfilling node is pushed on
+//     top of a complementary node and the adjacent pair "annihilates".
+//
+// Both support the full rich interface the paper calls for: demand
+// operations (block until paired), poll/offer (succeed only if a
+// counterpart is already waiting), timed operations with a patience
+// interval, and asynchronous cancellation (the Go analogue of thread
+// interruption), plus the pragmatics the paper describes — spin-then-park
+// waiting, reference forgetting for the garbage collector, and cleaning of
+// canceled nodes (lazy cleanMe unlinking in the queue, traversal unlinking
+// in the stack).
+//
+// The implementations are ports of the algorithms as adopted into Java 6
+// (java.util.concurrent.SynchronousQueue), adapted to Go: goroutines park
+// on a channel-based permit (internal/park) instead of LockSupport, and
+// since Go generics preclude the JDK's "item == this" self-sentinels, each
+// structure carries typed sentinel pointers with identical roles.
+package core
+
+import (
+	"time"
+
+	"synchq/internal/spin"
+)
+
+// Status is the outcome of a transfer attempt.
+type Status int
+
+const (
+	// OK means the operation paired up and transferred a value.
+	OK Status = iota
+	// Timeout means the patience interval expired (for zero patience:
+	// no counterpart was waiting).
+	Timeout
+	// Canceled means the operation was abandoned because its cancel
+	// channel fired.
+	Canceled
+)
+
+// String returns a human-readable form of s.
+func (s Status) String() string {
+	switch s {
+	case OK:
+		return "ok"
+	case Timeout:
+		return "timeout"
+	case Canceled:
+		return "canceled"
+	default:
+		return "invalid"
+	}
+}
+
+// WaitConfig tunes the waiting policy of a synchronous queue. The zero
+// value selects the paper's defaults: spin briefly before parking on
+// multiprocessors, park immediately on uniprocessors.
+type WaitConfig struct {
+	// TimedSpins is the spin budget before parking for operations with a
+	// deadline. Negative disables spinning; zero selects the platform
+	// default.
+	TimedSpins int
+	// UntimedSpins is the spin budget for unbounded waits. Negative
+	// disables spinning; zero selects the platform default.
+	UntimedSpins int
+}
+
+// resolve returns the effective spin budgets.
+func (c WaitConfig) resolve() (timed, untimed int) {
+	timed, untimed = c.TimedSpins, c.UntimedSpins
+	if timed == 0 {
+		timed = spin.TimedSpins()
+	} else if timed < 0 {
+		timed = 0
+	}
+	if untimed == 0 {
+		untimed = spin.UntimedSpins()
+	} else if untimed < 0 {
+		untimed = 0
+	}
+	return timed, untimed
+}
+
+// deadlineFor converts a patience duration into an absolute deadline; zero
+// patience yields an already-expired deadline (pure poll/offer), negative
+// patience is treated as zero.
+func deadlineFor(d time.Duration) time.Time {
+	if d <= 0 {
+		// Any non-zero time in the past: expired immediately.
+		return time.Unix(0, 1)
+	}
+	return time.Now().Add(d)
+}

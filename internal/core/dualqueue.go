@@ -1,0 +1,440 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+
+	"synchq/internal/park"
+	"synchq/internal/spin"
+)
+
+// qnode is a node of the synchronous dual queue. The list holds either data
+// nodes (isData true, item initially non-nil) or reservation nodes (isData
+// false, item initially nil), never both at once; the node at head is always
+// a retired dummy.
+//
+// Fulfillment and cancellation are both CASes on item:
+//
+//	data node:    item: &v ──taken──▶ nil        or ──canceled──▶ sentinel
+//	request node: item: nil ──filled──▶ &v       or ──canceled──▶ sentinel
+type qnode[T any] struct {
+	next   atomic.Pointer[qnode[T]]
+	item   atomic.Pointer[qitem[T]]
+	waiter atomic.Pointer[park.Parker]
+	isData bool
+}
+
+// qitem boxes a transferred value. The trailing pad guarantees every
+// allocation a unique address even when T is zero-sized (new(struct{})
+// aliases a single runtime address), so pointer identity against the
+// queue's cancellation sentinel is always meaningful.
+type qitem[T any] struct {
+	v T
+	_ byte
+}
+
+// DualQueue is the paper's fair synchronous queue: a nonblocking,
+// contention-free dual queue derived from the Michael & Scott queue, in
+// which producers and consumers pair up in strict FIFO order. Use
+// NewDualQueue to create one; a DualQueue must not be copied after first
+// use.
+type DualQueue[T any] struct {
+	head atomic.Pointer[qnode[T]]
+	tail atomic.Pointer[qnode[T]]
+	// cleanMe is the predecessor of the last canceled node that could not
+	// be unlinked immediately because it was the tail (the paper's — and
+	// Java 6's — lazy cleaning strategy).
+	cleanMe atomic.Pointer[qnode[T]]
+	// canceled is this queue's cancellation sentinel: a canceled node's
+	// item points here. It stands in for the JDK's "item == this"
+	// self-marker, which Go's typed atomics cannot express.
+	canceled *qitem[T]
+
+	timedSpins   int
+	untimedSpins int
+}
+
+// NewDualQueue returns an empty fair synchronous queue with the given wait
+// policy (use the zero WaitConfig for the paper's defaults).
+func NewDualQueue[T any](cfg WaitConfig) *DualQueue[T] {
+	q := &DualQueue[T]{canceled: new(qitem[T])}
+	q.timedSpins, q.untimedSpins = cfg.resolve()
+	dummy := &qnode[T]{}
+	q.head.Store(dummy)
+	q.tail.Store(dummy)
+	return q
+}
+
+func (q *DualQueue[T]) isCancelled(n *qnode[T]) bool { return n.item.Load() == q.canceled }
+
+// advanceHead swings head from h to nh and self-links the retired node so
+// that isOffList observes it and the garbage collector can reclaim the
+// chain behind it.
+func (q *DualQueue[T]) advanceHead(h, nh *qnode[T]) {
+	if h != nh && q.head.CompareAndSwap(h, nh) {
+		h.next.Store(h)
+	}
+}
+
+// isOffList reports whether n has been unlinked from the queue (self-linked
+// by advanceHead).
+func isOffList[T any](n *qnode[T]) bool { return n.next.Load() == n }
+
+// transfer is the shared engine for put and take: e non-nil transfers a
+// datum in, e nil transfers one out (the two operations are symmetric, as
+// the paper observes). A zero deadline waits forever; an expired deadline
+// makes the operation a pure offer/poll. If async is true a data node is
+// deposited without waiting for a consumer (the paper's TransferQueue
+// extension). On success the returned pointer is the transferred datum for
+// takes and e for puts.
+func (q *DualQueue[T]) transfer(e *qitem[T], deadline time.Time, cancel <-chan struct{}, async bool) (*qitem[T], Status) {
+	canWait := func() bool {
+		return async || deadline.IsZero() || time.Now().Before(deadline)
+	}
+	imm, s, pred, st := q.engage(e, canWait, async)
+	if st != OK {
+		return nil, st
+	}
+	if s == nil {
+		return imm, OK // completed immediately (fulfilled a waiter, or async deposit)
+	}
+
+	x, status := q.awaitFulfill(s, e, deadline, cancel)
+	if x == q.canceled {
+		q.clean(pred, s)
+		return nil, status
+	}
+	q.finish(s, pred, x)
+	if x != nil {
+		return x, OK
+	}
+	return e, OK
+}
+
+// engage is the lock-free half of a transfer (the paper's request
+// linearization): it either fulfills a complementary waiter immediately
+// (returning the exchanged item with node nil), deposits an async data
+// node (node nil, item e), or enqueues a waiting node s with predecessor
+// pred for the caller to await. canWait is consulted at the moment
+// enqueueing becomes necessary; if it reports false, engage returns
+// Timeout without touching the queue.
+func (q *DualQueue[T]) engage(e *qitem[T], canWait func() bool, async bool) (imm *qitem[T], node, pred *qnode[T], st Status) {
+	var s *qnode[T]
+	isData := e != nil
+
+	for {
+		t := q.tail.Load()
+		h := q.head.Load()
+
+		if h == t || t.isData == isData {
+			// Queue empty or holds same-mode nodes: enqueue and
+			// wait (Listing 5, lines 08–21).
+			tn := t.next.Load()
+			if t != q.tail.Load() {
+				continue // inconsistent snapshot
+			}
+			if tn != nil {
+				q.tail.CompareAndSwap(t, tn) // help lagging tail
+				continue
+			}
+			if !canWait() {
+				return nil, nil, nil, Timeout // can't wait
+			}
+			if s == nil {
+				s = &qnode[T]{isData: isData}
+				s.item.Store(e)
+			}
+			if !t.next.CompareAndSwap(nil, s) {
+				continue // lost insertion race
+			}
+			q.tail.CompareAndSwap(t, s)
+			if async {
+				return e, nil, nil, OK
+			}
+			return nil, s, t, OK
+
+		}
+
+		// Complementary mode at head: try to fulfill the oldest
+		// waiter (Listing 5, lines 23–31).
+		m := h.next.Load()
+		if t != q.tail.Load() || m == nil || h != q.head.Load() {
+			continue // inconsistent snapshot
+		}
+		x := m.item.Load()
+		if isData == (x != nil) || // m already fulfilled
+			x == q.canceled || // m canceled
+			!m.item.CompareAndSwap(x, e) { // lost fulfill race
+			q.advanceHead(h, m) // dequeue and retry
+			continue
+		}
+		q.advanceHead(h, m)
+		if p := m.waiter.Load(); p != nil {
+			p.Unpark()
+		}
+		if x != nil {
+			return x, nil, nil, OK
+		}
+		return e, nil, nil, OK
+	}
+}
+
+// finish performs the post-fulfillment bookkeeping for a node we waited
+// on: help dequeue ourselves (Listing 5, lines 17–19) and forget
+// references so blocked threads don't pin garbage (§Pragmatics). x is the
+// item value observed at fulfillment.
+func (q *DualQueue[T]) finish(s, pred *qnode[T], x *qitem[T]) {
+	if !isOffList(s) {
+		q.advanceHead(pred, s)
+		if x != nil {
+			s.item.Store(q.canceled)
+		}
+		s.waiter.Store(nil)
+	}
+}
+
+// awaitFulfill waits (spin-then-park) until node s is fulfilled or
+// canceled, returning the observed item and, if canceled, why.
+func (q *DualQueue[T]) awaitFulfill(s *qnode[T], e *qitem[T], deadline time.Time, cancel <-chan struct{}) (*qitem[T], Status) {
+	spins := 0
+	if q.head.Load().next.Load() == s {
+		// Only the node next in line for fulfillment spins; deeper
+		// nodes park immediately (§Pragmatics).
+		if deadline.IsZero() {
+			spins = q.untimedSpins
+		} else {
+			spins = q.timedSpins
+		}
+	}
+	var p *park.Parker
+	status := Timeout
+	for i := 0; ; i++ {
+		x := s.item.Load()
+		if x != e {
+			if x == q.canceled {
+				return x, status
+			}
+			return x, OK
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			status = Timeout
+			s.item.CompareAndSwap(e, q.canceled)
+			continue // reload item: cancel may have lost to a fulfiller
+		}
+		if cancel != nil {
+			select {
+			case <-cancel:
+				status = Canceled
+				s.item.CompareAndSwap(e, q.canceled)
+				continue
+			default:
+			}
+		}
+		if spins > 0 {
+			spins--
+			spin.Pause(i)
+			continue
+		}
+		if p == nil {
+			p = park.New()
+			s.waiter.Store(p)
+			continue // re-check item before first park
+		}
+		switch p.Wait(deadline, cancel) {
+		case park.Unparked:
+			// Re-read item.
+		case park.DeadlineExceeded:
+			status = Timeout
+			s.item.CompareAndSwap(e, q.canceled)
+		case park.Canceled:
+			status = Canceled
+			s.item.CompareAndSwap(e, q.canceled)
+		}
+	}
+}
+
+// clean unlinks the canceled node s with predecessor pred. A canceled node
+// at the tail cannot be unlinked (its predecessor's next pointer is the
+// insertion point), so the queue remembers pred in cleanMe and the node is
+// removed by a later clean — the paper's deferred cleaning strategy, which
+// bounds garbage to one canceled node per queue rather than letting
+// high-rate/low-patience workloads accumulate them.
+func (q *DualQueue[T]) clean(pred, s *qnode[T]) {
+	s.waiter.Store(nil)
+
+	for pred.next.Load() == s { // early exit if already unlinked
+		h := q.head.Load()
+		hn := h.next.Load()
+		if hn != nil && q.isCancelled(hn) {
+			q.advanceHead(h, hn)
+			continue
+		}
+		t := q.tail.Load()
+		if t == h {
+			return // queue empty: s is gone
+		}
+		tn := t.next.Load()
+		if t != q.tail.Load() {
+			continue
+		}
+		if tn != nil {
+			q.tail.CompareAndSwap(t, tn)
+			continue
+		}
+		if s != t {
+			// Interior node: unlink it now.
+			sn := s.next.Load()
+			if sn == s || pred.next.CompareAndSwap(s, sn) {
+				return
+			}
+		}
+		// s is the tail: defer. First try to flush a previously
+		// deferred node, then (if the slot is free) record ours.
+		dp := q.cleanMe.Load()
+		if dp != nil {
+			d := dp.next.Load()
+			unlinked := false
+			if d == nil || d == dp || !q.isCancelled(d) {
+				unlinked = true // stale record
+			} else if d != t {
+				if dn := d.next.Load(); dn != nil && dn != d && dp.next.CompareAndSwap(d, dn) {
+					unlinked = true
+				}
+			}
+			if unlinked {
+				q.cleanMe.CompareAndSwap(dp, nil)
+			}
+			if dp == pred {
+				return // s is already saved
+			}
+		} else if q.cleanMe.CompareAndSwap(nil, pred) {
+			return // postpone cleaning s
+		}
+	}
+}
+
+// Put transfers v to a consumer, waiting as long as necessary for one to
+// arrive.
+func (q *DualQueue[T]) Put(v T) {
+	q.transfer(&qitem[T]{v: v}, time.Time{}, nil, false)
+}
+
+// PutDeadline transfers v to a consumer, giving up at the deadline (zero
+// means never) or when cancel fires (nil means never).
+func (q *DualQueue[T]) PutDeadline(v T, deadline time.Time, cancel <-chan struct{}) Status {
+	_, st := q.transfer(&qitem[T]{v: v}, deadline, cancel, false)
+	return st
+}
+
+// Offer transfers v only if a consumer is already waiting; it reports
+// whether the transfer happened.
+func (q *DualQueue[T]) Offer(v T) bool {
+	_, st := q.transfer(&qitem[T]{v: v}, deadlineFor(0), nil, false)
+	return st == OK
+}
+
+// OfferTimeout transfers v, waiting up to d for a consumer.
+func (q *DualQueue[T]) OfferTimeout(v T, d time.Duration) bool {
+	_, st := q.transfer(&qitem[T]{v: v}, deadlineFor(d), nil, false)
+	return st == OK
+}
+
+// PutAsync deposits v without waiting for a consumer: the paper's
+// TransferQueue extension ("releasing producers before items are taken").
+func (q *DualQueue[T]) PutAsync(v T) {
+	q.transfer(&qitem[T]{v: v}, time.Time{}, nil, true)
+}
+
+// Take receives a value from a producer, waiting as long as necessary for
+// one to arrive.
+func (q *DualQueue[T]) Take() T {
+	x, _ := q.transfer(nil, time.Time{}, nil, false)
+	return x.v
+}
+
+// TakeDeadline receives a value, giving up at the deadline (zero means
+// never) or when cancel fires (nil means never).
+func (q *DualQueue[T]) TakeDeadline(deadline time.Time, cancel <-chan struct{}) (T, Status) {
+	x, st := q.transfer(nil, deadline, cancel, false)
+	if st != OK {
+		var zero T
+		return zero, st
+	}
+	return x.v, OK
+}
+
+// Poll receives a value only if a producer is already waiting (or a datum
+// was deposited asynchronously).
+func (q *DualQueue[T]) Poll() (T, bool) {
+	x, st := q.transfer(nil, deadlineFor(0), nil, false)
+	if st != OK {
+		var zero T
+		return zero, false
+	}
+	return x.v, true
+}
+
+// PollTimeout receives a value, waiting up to d for a producer.
+func (q *DualQueue[T]) PollTimeout(d time.Duration) (T, bool) {
+	x, st := q.transfer(nil, deadlineFor(d), nil, false)
+	if st != OK {
+		var zero T
+		return zero, false
+	}
+	return x.v, true
+}
+
+// observe classifies the queue's current content. The answer may be stale
+// immediately; it is intended for tests, monitoring and heuristics.
+func (q *DualQueue[T]) observe() (data, reservations bool) {
+	h := q.head.Load()
+	t := q.tail.Load()
+	if h == t {
+		return false, false
+	}
+	n := h.next.Load()
+	if n == nil || n == h {
+		return false, false
+	}
+	if q.isCancelled(n) {
+		return false, false
+	}
+	return t.isData, !t.isData
+}
+
+// HasWaitingProducer reports whether a producer was observed waiting.
+func (q *DualQueue[T]) HasWaitingProducer() bool { d, _ := q.observe(); return d }
+
+// HasWaitingConsumer reports whether a consumer was observed waiting.
+func (q *DualQueue[T]) HasWaitingConsumer() bool { _, r := q.observe(); return r }
+
+// IsEmpty reports whether the queue was observed holding neither data nor
+// reservations.
+func (q *DualQueue[T]) IsEmpty() bool {
+	h := q.head.Load()
+	return h == q.tail.Load() && h.next.Load() == nil
+}
+
+// Len counts the live (non-canceled) waiting nodes by walking the list. It
+// is linear time and only a snapshot under concurrency; intended for tests
+// and monitoring.
+func (q *DualQueue[T]) Len() int {
+	n := 0
+	cur := q.head.Load().next.Load()
+	for cur != nil {
+		next := cur.next.Load()
+		if next == cur {
+			break // node raced off-list; snapshot ends here
+		}
+		if !q.isCancelled(cur) {
+			// A data node whose item was taken (nil) or a request
+			// node already filled is retired, not waiting.
+			x := cur.item.Load()
+			if (cur.isData && x != nil) || (!cur.isData && x == nil) {
+				n++
+			}
+		}
+		cur = next
+	}
+	return n
+}

@@ -1,0 +1,403 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+
+	"synchq/internal/park"
+	"synchq/internal/spin"
+)
+
+// Node modes for the dual stack. A node is a request, a datum, or a
+// fulfilling node pushed on top of a complementary node to "annihilate"
+// with it. The paper notes Java cannot set flag bits in pointers, so the
+// mode lives in a word of its own in the node — the same choice made here.
+const (
+	modeRequest    uint8 = 0
+	modeData       uint8 = 1
+	modeFulfilling uint8 = 2
+)
+
+// snode is a node of the synchronous dual stack. match is the annihilation
+// pointer: a fulfiller CASes it from nil to itself; a waiter that times out
+// CASes it from nil to the node itself (self-match means canceled). item is
+// boxed (qitem) so the ticket API can share value plumbing with the queue.
+type snode[T any] struct {
+	next   atomic.Pointer[snode[T]]
+	match  atomic.Pointer[snode[T]]
+	waiter atomic.Pointer[park.Parker]
+	item   atomic.Pointer[qitem[T]]
+	mode   uint8
+}
+
+func (n *snode[T]) isCancelled() bool { return n.match.Load() == n }
+
+// tryMatch attempts to match node m with fulfiller f, waking m's waiter on
+// success. It also returns true if m was already matched with f by a
+// helping thread.
+func tryMatch[T any](m, f *snode[T]) bool {
+	if m.match.CompareAndSwap(nil, f) {
+		if p := m.waiter.Load(); p != nil {
+			p.Unpark()
+		}
+		return true
+	}
+	return m.match.Load() == f
+}
+
+// casNext replaces m with mn in n's next pointer.
+func (n *snode[T]) casNext(m, mn *snode[T]) bool {
+	return n.next.Load() == m && n.next.CompareAndSwap(m, mn)
+}
+
+// DualStack is the paper's unfair synchronous queue: a nonblocking,
+// contention-free dual stack derived from the Treiber stack, in which the
+// most recently arrived waiter is paired first (LIFO). Use NewDualStack to
+// create one; a DualStack must not be copied after first use.
+type DualStack[T any] struct {
+	head atomic.Pointer[snode[T]]
+
+	timedSpins   int
+	untimedSpins int
+}
+
+// NewDualStack returns an empty unfair synchronous queue with the given
+// wait policy (use the zero WaitConfig for the paper's defaults).
+func NewDualStack[T any](cfg WaitConfig) *DualStack[T] {
+	s := &DualStack[T]{}
+	s.timedSpins, s.untimedSpins = cfg.resolve()
+	return s
+}
+
+// transfer is the shared engine for put and take (Listing 6): e non-nil
+// pushes a datum, e nil pushes a request. A zero deadline waits forever; an
+// expired deadline makes the operation a pure offer/poll.
+func (q *DualStack[T]) transfer(e *qitem[T], deadline time.Time, cancel <-chan struct{}) (*qitem[T], Status) {
+	mode := modeRequest
+	if e != nil {
+		mode = modeData
+	}
+	canWait := func() bool {
+		return deadline.IsZero() || time.Now().Before(deadline)
+	}
+	imm, s, st := q.engageWait(e, mode, canWait)
+	if st != OK {
+		return nil, st
+	}
+	if s == nil {
+		return imm, OK // fulfilled a waiting counterpart directly
+	}
+
+	m, status := q.awaitFulfill(s, deadline, cancel)
+	if m == s {
+		q.clean(s)
+		return nil, status // canceled
+	}
+	q.finishMatch(s)
+	if mode == modeRequest {
+		return m.item.Load(), OK
+	}
+	return s.item.Load(), OK
+}
+
+// engage is engageWait with unconditional waiting, for the ticket API.
+func (q *DualStack[T]) engage(e *qitem[T], mode uint8) (*qitem[T], *snode[T]) {
+	imm, s, _ := q.engageWait(e, mode, func() bool { return true })
+	return imm, s
+}
+
+// engageWait is the lock-free half of a transfer: it either completes
+// immediately by annihilating with a complementary node (returning the
+// exchanged item, node nil) or pushes a waiting node s for the caller to
+// await. canWait is consulted at the moment pushing becomes necessary.
+func (q *DualStack[T]) engageWait(e *qitem[T], mode uint8, canWait func() bool) (*qitem[T], *snode[T], Status) {
+	var s *snode[T]
+
+	for {
+		h := q.head.Load()
+
+		switch {
+		case h == nil || h.mode == mode:
+			// Empty or same-mode: push and wait (lines 07–16).
+			if !canWait() {
+				if h != nil && h.isCancelled() {
+					q.head.CompareAndSwap(h, h.next.Load())
+					continue // retire canceled top, retry
+				}
+				return nil, nil, Timeout // can't wait
+			}
+			if s == nil {
+				s = &snode[T]{mode: mode}
+				s.item.Store(e)
+			}
+			s.next.Store(h)
+			if !q.head.CompareAndSwap(h, s) {
+				continue // lost push race
+			}
+			return nil, s, OK
+
+		case h.mode&modeFulfilling == 0:
+			// Complementary node on top: push a fulfilling node
+			// above it (lines 17–25).
+			if h.isCancelled() {
+				q.head.CompareAndSwap(h, h.next.Load())
+				continue
+			}
+			f := &snode[T]{mode: mode | modeFulfilling}
+			f.item.Store(e)
+			f.next.Store(h)
+			if !q.head.CompareAndSwap(h, f) {
+				continue
+			}
+			for {
+				m := f.next.Load() // the node we are fulfilling
+				if m == nil {
+					// All waiters vanished (canceled and
+					// cleaned): pop our fulfilling node
+					// and restart.
+					q.head.CompareAndSwap(f, nil)
+					break
+				}
+				mn := m.next.Load()
+				if tryMatch(m, f) {
+					q.head.CompareAndSwap(f, mn) // pop both
+					if mode == modeRequest {
+						return m.item.Load(), nil, OK
+					}
+					return f.item.Load(), nil, OK
+				}
+				// m was canceled under us: unlink it and try
+				// the next waiter down.
+				f.casNext(m, mn)
+			}
+
+		default:
+			// Top is another thread's fulfilling node: help it
+			// complete the annihilation before proceeding with
+			// our own work (lines 26–31).
+			m := h.next.Load()
+			if m == nil {
+				q.head.CompareAndSwap(h, nil)
+			} else {
+				mn := m.next.Load()
+				if tryMatch(m, h) {
+					q.head.CompareAndSwap(h, mn)
+				} else {
+					h.casNext(m, mn)
+				}
+			}
+		}
+	}
+}
+
+// finishMatch performs the post-annihilation bookkeeping for a node we
+// waited on: help our fulfiller pop the pair (Figure 2, step D) and forget
+// the waiter reference.
+func (q *DualStack[T]) finishMatch(s *snode[T]) {
+	if h := q.head.Load(); h != nil && h.next.Load() == s {
+		q.head.CompareAndSwap(h, s.next.Load())
+	}
+	s.waiter.Store(nil)
+}
+
+// awaitFulfill waits (spin-then-park) until node s is matched or canceled.
+// It returns the match; a self-match means canceled, with status saying
+// why.
+func (q *DualStack[T]) awaitFulfill(s *snode[T], deadline time.Time, cancel <-chan struct{}) (*snode[T], Status) {
+	spins := 0
+	if q.shouldSpin(s) {
+		if deadline.IsZero() {
+			spins = q.untimedSpins
+		} else {
+			spins = q.timedSpins
+		}
+	}
+	var p *park.Parker
+	status := Timeout
+	for i := 0; ; i++ {
+		if m := s.match.Load(); m != nil {
+			if m == s {
+				return m, status
+			}
+			return m, OK
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			status = Timeout
+			s.match.CompareAndSwap(nil, s)
+			continue // reload match: cancel may have lost the race
+		}
+		if cancel != nil {
+			select {
+			case <-cancel:
+				status = Canceled
+				s.match.CompareAndSwap(nil, s)
+				continue
+			default:
+			}
+		}
+		if spins > 0 {
+			// Keep spinning while we remain plausibly next in
+			// line; the budget still decays so a preempted
+			// fulfiller cannot strand us spinning.
+			if q.shouldSpin(s) {
+				spins--
+				spin.Pause(i)
+				continue
+			}
+			spins = 0
+			continue
+		}
+		if p == nil {
+			p = park.New()
+			s.waiter.Store(p)
+			continue // re-check match before first park
+		}
+		switch p.Wait(deadline, cancel) {
+		case park.Unparked:
+			// Re-read match.
+		case park.DeadlineExceeded:
+			status = Timeout
+			s.match.CompareAndSwap(nil, s)
+		case park.Canceled:
+			status = Canceled
+			s.match.CompareAndSwap(nil, s)
+		}
+	}
+}
+
+// shouldSpin reports whether node s is at or adjacent to the top of the
+// stack, i.e. likely to be fulfilled imminently.
+func (q *DualStack[T]) shouldSpin(s *snode[T]) bool {
+	h := q.head.Load()
+	return h == s || h == nil || h.mode&modeFulfilling != 0
+}
+
+// clean unlinks the canceled node s from the stack. Unlike the queue there
+// is no tail obstruction: we simply sweep from the top down to s's
+// (approximate) successor, unsplicing canceled nodes along the way. The
+// successor is recorded first so the sweep is bounded even while other
+// threads push above us.
+func (q *DualStack[T]) clean(s *snode[T]) {
+	s.item.Store(nil)
+	s.waiter.Store(nil)
+
+	past := s.next.Load()
+	if past != nil && past.isCancelled() {
+		past = past.next.Load()
+	}
+
+	// Absorb canceled nodes at the head.
+	p := q.head.Load()
+	for p != nil && p != past && p.isCancelled() {
+		q.head.CompareAndSwap(p, p.next.Load())
+		p = q.head.Load()
+	}
+	// Unsplice embedded canceled nodes between the head and past.
+	for p != nil && p != past {
+		n := p.next.Load()
+		if n != nil && n.isCancelled() {
+			p.casNext(n, n.next.Load())
+		} else {
+			p = n
+		}
+	}
+}
+
+// Put transfers v to a consumer, waiting as long as necessary for one to
+// arrive.
+func (q *DualStack[T]) Put(v T) {
+	q.transfer(&qitem[T]{v: v}, time.Time{}, nil)
+}
+
+// PutDeadline transfers v to a consumer, giving up at the deadline (zero
+// means never) or when cancel fires (nil means never).
+func (q *DualStack[T]) PutDeadline(v T, deadline time.Time, cancel <-chan struct{}) Status {
+	_, st := q.transfer(&qitem[T]{v: v}, deadline, cancel)
+	return st
+}
+
+// Offer transfers v only if a consumer is already waiting.
+func (q *DualStack[T]) Offer(v T) bool {
+	_, st := q.transfer(&qitem[T]{v: v}, deadlineFor(0), nil)
+	return st == OK
+}
+
+// OfferTimeout transfers v, waiting up to d for a consumer.
+func (q *DualStack[T]) OfferTimeout(v T, d time.Duration) bool {
+	_, st := q.transfer(&qitem[T]{v: v}, deadlineFor(d), nil)
+	return st == OK
+}
+
+// Take receives a value from a producer, waiting as long as necessary for
+// one to arrive.
+func (q *DualStack[T]) Take() T {
+	x, _ := q.transfer(nil, time.Time{}, nil)
+	return x.v
+}
+
+// TakeDeadline receives a value, giving up at the deadline (zero means
+// never) or when cancel fires (nil means never).
+func (q *DualStack[T]) TakeDeadline(deadline time.Time, cancel <-chan struct{}) (T, Status) {
+	x, st := q.transfer(nil, deadline, cancel)
+	if st != OK {
+		var zero T
+		return zero, st
+	}
+	return x.v, OK
+}
+
+// Poll receives a value only if a producer is already waiting.
+func (q *DualStack[T]) Poll() (T, bool) {
+	x, st := q.transfer(nil, deadlineFor(0), nil)
+	if st != OK {
+		var zero T
+		return zero, false
+	}
+	return x.v, true
+}
+
+// PollTimeout receives a value, waiting up to d for a producer.
+func (q *DualStack[T]) PollTimeout(d time.Duration) (T, bool) {
+	x, st := q.transfer(nil, deadlineFor(d), nil)
+	if st != OK {
+		var zero T
+		return zero, false
+	}
+	return x.v, true
+}
+
+// observe classifies the stack's current content (tests/monitoring only).
+func (q *DualStack[T]) observe() (data, reservations bool) {
+	h := q.head.Load()
+	if h == nil || h.isCancelled() {
+		return false, false
+	}
+	switch h.mode &^ modeFulfilling {
+	case modeData:
+		return true, false
+	default:
+		return false, true
+	}
+}
+
+// HasWaitingProducer reports whether a producer was observed waiting.
+func (q *DualStack[T]) HasWaitingProducer() bool { d, _ := q.observe(); return d }
+
+// HasWaitingConsumer reports whether a consumer was observed waiting.
+func (q *DualStack[T]) HasWaitingConsumer() bool { _, r := q.observe(); return r }
+
+// IsEmpty reports whether the stack was observed empty.
+func (q *DualStack[T]) IsEmpty() bool { return q.head.Load() == nil }
+
+// Len counts the live (unmatched, non-canceled) waiting nodes by walking
+// the stack. Linear time and only a snapshot under concurrency; intended
+// for tests and monitoring.
+func (q *DualStack[T]) Len() int {
+	n := 0
+	for cur := q.head.Load(); cur != nil; cur = cur.next.Load() {
+		if cur.match.Load() == nil && cur.mode&modeFulfilling == 0 {
+			n++
+		}
+	}
+	return n
+}

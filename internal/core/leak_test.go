@@ -1,0 +1,143 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// expectGoroutinesBelow polls until the live goroutine count drops to at
+// most want, failing after a generous deadline. Used to prove that waiting
+// goroutines are actually released — a queue that loses wakeups strands
+// its waiters forever.
+func expectGoroutinesBelow(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines did not drain: %d > %d\n%s",
+				runtime.NumGoroutine(), want, buf[:n])
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestDualQueueNoGoroutineLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	q := NewDualQueue[int](WaitConfig{})
+	for round := 0; round < 50; round++ {
+		done := make(chan struct{})
+		go func() {
+			for i := 0; i < 20; i++ {
+				q.Put(i)
+			}
+			close(done)
+		}()
+		for i := 0; i < 20; i++ {
+			q.Take()
+		}
+		<-done
+	}
+	// Timed waiters that expire must also vanish.
+	for i := 0; i < 20; i++ {
+		go q.OfferTimeout(i, time.Millisecond)
+		go q.PollTimeout(time.Millisecond)
+	}
+	expectGoroutinesBelow(t, base+2)
+}
+
+func TestDualStackNoGoroutineLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	q := NewDualStack[int](WaitConfig{})
+	for round := 0; round < 50; round++ {
+		done := make(chan struct{})
+		go func() {
+			for i := 0; i < 20; i++ {
+				q.Put(i)
+			}
+			close(done)
+		}()
+		for i := 0; i < 20; i++ {
+			q.Take()
+		}
+		<-done
+	}
+	for i := 0; i < 20; i++ {
+		go q.OfferTimeout(i, time.Millisecond)
+		go q.PollTimeout(time.Millisecond)
+	}
+	expectGoroutinesBelow(t, base+2)
+}
+
+func TestDualQueueCleanMeChain(t *testing.T) {
+	// Exercise the deferred-cleaning bookkeeping across multiple
+	// cancellations at the tail: a live producer pins the head while a
+	// sequence of timed offers cancel behind it, each becoming (briefly)
+	// an uncleanable tail node whose predecessor lands in cleanMe.
+	q := NewDualQueue[int](WaitConfig{})
+	go q.Put(1)
+	waitLen[int](t, q, 1)
+	for i := 0; i < 10; i++ {
+		if q.OfferTimeout(100+i, 2*time.Millisecond) {
+			t.Fatalf("offer %d unexpectedly matched", i)
+		}
+	}
+	// The canceled chain must not be observable as live waiters...
+	if n := q.Len(); n != 1 {
+		t.Fatalf("Len = %d, want 1 (only the live producer)", n)
+	}
+	// ...and deferred cleaning must keep reclaiming while the head is
+	// pinned: each new cancellation's clean() unlinks roughly every other
+	// predecessor (as in Java 6 — a cleanMe record can go stale when its
+	// saved predecessor is itself unlinked), so the debris is bounded by
+	// a fraction of the burst, never the whole burst plus growth.
+	if n := countQueueNodes(q); n > 7 {
+		t.Fatalf("%d nodes linger; deferred cleaning is not reclaiming", n)
+	}
+	// The pinned producer still transfers — the consumer sweeps canceled
+	// nodes out of its way as it searches for the live one.
+	if got := q.Take(); got != 1 {
+		t.Fatalf("Take = %d, want 1", got)
+	}
+	// A subsequent operation drains the remaining canceled debris from
+	// the head; after it, the structure is clean.
+	if _, ok := q.Poll(); ok {
+		t.Fatal("Poll fabricated a value from canceled nodes")
+	}
+	if n := countQueueNodes(q); n > 1 {
+		t.Fatalf("%d nodes linger after the head swept past the debris", n)
+	}
+	// And the queue is fully functional afterwards.
+	done := make(chan int)
+	go func() { done <- q.Take() }()
+	waitLen[int](t, q, 1)
+	q.Put(2)
+	if got := <-done; got != 2 {
+		t.Fatalf("Take = %d, want 2", got)
+	}
+}
+
+func TestDualStackCancellationBurstThenUse(t *testing.T) {
+	// Mirror of the cleanMe chain test for the stack: a live producer is
+	// buried under a burst of canceled offers; takes must skip the debris
+	// and reach it, and the debris must be swept.
+	q := NewDualStack[int](WaitConfig{})
+	go q.Put(1)
+	waitLen[int](t, q, 1)
+	for i := 0; i < 10; i++ {
+		if q.OfferTimeout(100+i, 2*time.Millisecond) {
+			t.Fatalf("offer %d unexpectedly matched", i)
+		}
+	}
+	if got := q.Take(); got != 1 {
+		t.Fatalf("Take = %d, want 1 (canceled nodes must be skipped)", got)
+	}
+	if n := countStackNodes(q); n > 2 {
+		t.Fatalf("%d nodes linger after the burst was consumed", n)
+	}
+}

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"time"
+)
+
+// This file exposes the paper's §2.2 dual-data-structure interface as
+// first-class operations: partial methods split into a request that
+// registers a reservation and follow-ups that check it (Listing 2).
+//
+//	reservation r = Q.dequeue_reserve();     ->  v, tk, ok := q.TakeReserve()
+//	d = Q.dequeue_followup(r);               ->  v, ok := tk.TryFollowup()
+//	Q.dequeue_abort(r);                      ->  tk.Abort()
+//
+// The decisive property is contention freedom: an unsuccessful
+// TryFollowup reads only the reservation's own node (a location no other
+// thread writes until fulfillment), so polling a reservation performs a
+// constant number of remote memory accesses across all unsuccessful
+// follow-ups — unlike retrying a totalized operation, which hammers the
+// structure's head on every attempt.
+//
+// A Ticket is owned by the goroutine that created it and must not be used
+// concurrently; this matches the paper's model, in which the requester
+// itself performs the follow-ups.
+
+// QueueTicket is a pending reservation on a DualQueue — either a request
+// for a value (from TakeReserve) or an offered value awaiting a consumer
+// (from PutReserve).
+type QueueTicket[T any] struct {
+	q    *DualQueue[T]
+	node *qnode[T]
+	pred *qnode[T]
+	e    *qitem[T] // the node's initial item state
+	done bool      // a follow-up already consumed the outcome
+}
+
+// TakeReserve registers a request for a value (the request operation,
+// which linearizes the caller's place in line). If a producer was already
+// waiting, its value is returned at once with ok true and a nil ticket;
+// otherwise ok is false and the ticket tracks the pending reservation.
+func (q *DualQueue[T]) TakeReserve() (T, *QueueTicket[T], bool) {
+	imm, node, pred, _ := q.engage(nil, func() bool { return true }, false)
+	if node == nil {
+		return imm.v, nil, true
+	}
+	var zero T
+	return zero, &QueueTicket[T]{q: q, node: node, pred: pred, e: nil}, false
+}
+
+// PutReserve offers v to a future consumer (the request operation). If a
+// consumer was already waiting, v is delivered at once and ok is true with
+// a nil ticket; otherwise ok is false and the ticket tracks the pending
+// offer.
+func (q *DualQueue[T]) PutReserve(v T) (*QueueTicket[T], bool) {
+	e := &qitem[T]{v: v}
+	_, node, pred, _ := q.engage(e, func() bool { return true }, false)
+	if node == nil {
+		return nil, true
+	}
+	return &QueueTicket[T]{q: q, node: node, pred: pred, e: e}, false
+}
+
+// TryFollowup checks, without blocking, whether the reservation has been
+// fulfilled. For a take ticket the fulfilled value is returned; for a put
+// ticket the returned value is the zero value and ok simply reports
+// delivery. An unsuccessful TryFollowup touches no shared state beyond
+// the ticket's own node. After a successful TryFollowup the ticket is
+// spent.
+func (t *QueueTicket[T]) TryFollowup() (T, bool) {
+	var zero T
+	if t.done {
+		panic("core: follow-up on a spent ticket")
+	}
+	x := t.node.item.Load()
+	if x == t.e || x == t.q.canceled {
+		return zero, false // still pending (or aborted)
+	}
+	t.done = true
+	t.q.finish(t.node, t.pred, x)
+	if x != nil {
+		return x.v, true // take ticket: the delivered value
+	}
+	return zero, true // put ticket: delivered
+}
+
+// Await blocks until the reservation is fulfilled, the deadline passes
+// (zero deadline: never), or cancel fires (nil: never) — the "demand"
+// completion built from spin-then-park waiting. On Timeout/Canceled the
+// reservation has been aborted and the ticket is spent.
+func (t *QueueTicket[T]) Await(deadline time.Time, cancel <-chan struct{}) (T, Status) {
+	var zero T
+	if t.done {
+		panic("core: await on a spent ticket")
+	}
+	x, status := t.q.awaitFulfill(t.node, t.e, deadline, cancel)
+	t.done = true
+	if x == t.q.canceled {
+		t.q.clean(t.pred, t.node)
+		return zero, status
+	}
+	t.q.finish(t.node, t.pred, x)
+	if x != nil {
+		return x.v, OK
+	}
+	return zero, OK
+}
+
+// Abort attempts to cancel the reservation. It returns true if the
+// reservation was canceled (the ticket is spent) and false if a
+// counterpart fulfilled it first — in which case the outcome must still be
+// collected with TryFollowup, exactly as in the paper's Listing 2, whose
+// abort path re-runs the follow-up.
+func (t *QueueTicket[T]) Abort() bool {
+	if t.done {
+		panic("core: abort of a spent ticket")
+	}
+	if t.node.item.CompareAndSwap(t.e, t.q.canceled) {
+		t.done = true
+		t.q.clean(t.pred, t.node)
+		return true
+	}
+	return false
+}
+
+// StackTicket is a pending reservation on a DualStack.
+type StackTicket[T any] struct {
+	q    *DualStack[T]
+	node *snode[T]
+	done bool
+}
+
+// TakeReserve registers a request for a value on the stack. If a producer
+// was already waiting (or a fulfillment completed during the attempt), the
+// value is returned at once with ok true and a nil ticket.
+func (q *DualStack[T]) TakeReserve() (T, *StackTicket[T], bool) {
+	imm, node := q.engage(nil, modeRequest)
+	if node == nil {
+		return imm.v, nil, true
+	}
+	var zero T
+	return zero, &StackTicket[T]{q: q, node: node}, false
+}
+
+// PutReserve offers v on the stack. If a consumer was already waiting, v
+// is delivered at once and ok is true with a nil ticket.
+func (q *DualStack[T]) PutReserve(v T) (*StackTicket[T], bool) {
+	e := &qitem[T]{v: v}
+	_, node := q.engage(e, modeData)
+	if node == nil {
+		return nil, true
+	}
+	return &StackTicket[T]{q: q, node: node}, false
+}
+
+// TryFollowup checks, without blocking, whether the reservation has been
+// annihilated with a counterpart. Unsuccessful follow-ups read only the
+// ticket's own node's match word.
+func (t *StackTicket[T]) TryFollowup() (T, bool) {
+	var zero T
+	if t.done {
+		panic("core: follow-up on a spent ticket")
+	}
+	m := t.node.match.Load()
+	if m == nil || m == t.node {
+		return zero, false // pending (or aborted)
+	}
+	t.done = true
+	t.q.finishMatch(t.node)
+	if t.node.mode == modeRequest {
+		return m.item.Load().v, true
+	}
+	return zero, true
+}
+
+// Await blocks until the reservation is matched, the deadline passes, or
+// cancel fires. On Timeout/Canceled the reservation has been aborted and
+// the ticket is spent.
+func (t *StackTicket[T]) Await(deadline time.Time, cancel <-chan struct{}) (T, Status) {
+	var zero T
+	if t.done {
+		panic("core: await on a spent ticket")
+	}
+	m, status := t.q.awaitFulfill(t.node, deadline, cancel)
+	t.done = true
+	if m == t.node {
+		t.q.clean(t.node)
+		return zero, status
+	}
+	t.q.finishMatch(t.node)
+	if t.node.mode == modeRequest {
+		return m.item.Load().v, OK
+	}
+	return zero, OK
+}
+
+// Abort attempts to cancel the reservation; false means a counterpart
+// matched it first and TryFollowup must be used to collect the outcome.
+func (t *StackTicket[T]) Abort() bool {
+	if t.done {
+		panic("core: abort of a spent ticket")
+	}
+	if t.node.match.CompareAndSwap(nil, t.node) {
+		t.done = true
+		t.q.clean(t.node)
+		return true
+	}
+	return false
+}
+
+// Ticket is the interface satisfied by both structures' reservation
+// tickets, so callers can be written against either pairing discipline.
+type Ticket[T any] interface {
+	// TryFollowup checks for fulfillment without blocking; an
+	// unsuccessful call is contention-free.
+	TryFollowup() (T, bool)
+	// Await blocks until fulfillment, the deadline (zero: never), or
+	// cancel (nil: never).
+	Await(deadline time.Time, cancel <-chan struct{}) (T, Status)
+	// Abort cancels the reservation; false means it was fulfilled first
+	// and TryFollowup must collect the outcome.
+	Abort() bool
+}
+
+// ReserveTake is TakeReserve with the ticket as the shared Ticket
+// interface (nil ticket when ok is true).
+func (q *DualQueue[T]) ReserveTake() (T, Ticket[T], bool) {
+	v, tk, ok := q.TakeReserve()
+	if tk == nil {
+		return v, nil, ok
+	}
+	return v, tk, ok
+}
+
+// ReservePut is PutReserve with the ticket as the shared Ticket interface.
+func (q *DualQueue[T]) ReservePut(v T) (Ticket[T], bool) {
+	tk, ok := q.PutReserve(v)
+	if tk == nil {
+		return nil, ok
+	}
+	return tk, ok
+}
+
+// ReserveTake is TakeReserve with the ticket as the shared Ticket
+// interface (nil ticket when ok is true).
+func (q *DualStack[T]) ReserveTake() (T, Ticket[T], bool) {
+	v, tk, ok := q.TakeReserve()
+	if tk == nil {
+		return v, nil, ok
+	}
+	return v, tk, ok
+}
+
+// ReservePut is PutReserve with the ticket as the shared Ticket interface.
+func (q *DualStack[T]) ReservePut(v T) (Ticket[T], bool) {
+	tk, ok := q.PutReserve(v)
+	if tk == nil {
+		return nil, ok
+	}
+	return tk, ok
+}

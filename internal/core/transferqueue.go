@@ -1,0 +1,88 @@
+package core
+
+import (
+	"time"
+)
+
+// TransferQueue is the paper's §5 extension of the fair synchronous queue:
+// producers may enqueue either synchronously (Transfer: wait for a consumer
+// to take the item) or asynchronously (Put: deposit the item and return at
+// once), while consumers always wait for data. The base synchronous support
+// mirrors the fair dual queue; the asynchronous additions differ only by
+// releasing producers before items are taken. This is the ancestor of
+// java.util.concurrent.LinkedTransferQueue.
+//
+// Use NewTransferQueue to create one; a TransferQueue must not be copied
+// after first use.
+type TransferQueue[T any] struct {
+	q *DualQueue[T]
+}
+
+// NewTransferQueue returns an empty transfer queue with the given wait
+// policy.
+func NewTransferQueue[T any](cfg WaitConfig) *TransferQueue[T] {
+	return &TransferQueue[T]{q: NewDualQueue[T](cfg)}
+}
+
+// Put deposits v asynchronously: it hands v to a waiting consumer if one is
+// present and otherwise buffers it as a data node, returning immediately in
+// either case.
+func (t *TransferQueue[T]) Put(v T) { t.q.PutAsync(v) }
+
+// Transfer hands v to a consumer synchronously, waiting as long as
+// necessary for one to take it.
+func (t *TransferQueue[T]) Transfer(v T) { t.q.Put(v) }
+
+// TransferDeadline hands v to a consumer synchronously, giving up at the
+// deadline (zero means never) or when cancel fires (nil means never).
+func (t *TransferQueue[T]) TransferDeadline(v T, deadline time.Time, cancel <-chan struct{}) Status {
+	return t.q.PutDeadline(v, deadline, cancel)
+}
+
+// TryTransfer hands v to a consumer only if one is already waiting.
+func (t *TransferQueue[T]) TryTransfer(v T) bool { return t.q.Offer(v) }
+
+// TransferTimeout hands v to a consumer, waiting up to d for one to take
+// it.
+func (t *TransferQueue[T]) TransferTimeout(v T, d time.Duration) bool {
+	return t.q.OfferTimeout(v, d)
+}
+
+// Take receives a value, waiting as long as necessary for one.
+func (t *TransferQueue[T]) Take() T { return t.q.Take() }
+
+// TakeDeadline receives a value, giving up at the deadline (zero means
+// never) or when cancel fires (nil means never).
+func (t *TransferQueue[T]) TakeDeadline(deadline time.Time, cancel <-chan struct{}) (T, Status) {
+	return t.q.TakeDeadline(deadline, cancel)
+}
+
+// Poll receives a value only if one is immediately available.
+func (t *TransferQueue[T]) Poll() (T, bool) { return t.q.Poll() }
+
+// PollTimeout receives a value, waiting up to d.
+func (t *TransferQueue[T]) PollTimeout(d time.Duration) (T, bool) { return t.q.PollTimeout(d) }
+
+// Drain removes and returns every immediately available element —
+// buffered asynchronous deposits and waiting synchronous producers — in
+// FIFO order, without waiting for more. It is the bulk form of Poll,
+// useful at shutdown to recover undelivered messages.
+func (t *TransferQueue[T]) Drain() []T {
+	var out []T
+	for {
+		v, ok := t.q.Poll()
+		if !ok {
+			return out
+		}
+		out = append(out, v)
+	}
+}
+
+// HasWaitingConsumer reports whether a consumer was observed waiting — the
+// signal ThreadPoolExecutor-style users consult to decide whether to grow
+// the worker pool.
+func (t *TransferQueue[T]) HasWaitingConsumer() bool { return t.q.HasWaitingConsumer() }
+
+// HasBufferedData reports whether asynchronously deposited items were
+// observed waiting to be taken.
+func (t *TransferQueue[T]) HasBufferedData() bool { return t.q.HasWaitingProducer() }

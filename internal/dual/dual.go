@@ -1,0 +1,112 @@
+// Package dual implements the nonblocking dual queue and dual stack of
+// Scherer & Scott ("Nonblocking Concurrent Objects with Condition
+// Synchronization", DISC 2004) — the structures the paper's synchronous
+// queues extend.
+//
+// A dual data structure may hold either data or reservations (requests), but
+// never both at once. In these non-synchronous variants only consumers ever
+// wait: a dequeue/pop on an empty structure inserts a reservation and blocks
+// until a producer fulfills it, while enqueue/push never blocks — if
+// reservations are present the producer satisfies the oldest (queue) or
+// topmost (stack) one directly, otherwise it deposits a data node.
+//
+// These structures ARE the paper's challenge statement: "the nonsynchronous
+// dual data structures already block when a consumer arrives before a
+// producer; our challenge is to arrange for producers to block until a
+// consumer arrives as well" (§3.3).
+package dual
+
+import (
+	"sync/atomic"
+	"time"
+
+	"synchq/internal/park"
+	"synchq/internal/spin"
+)
+
+// dbox boxes a deposited value. The trailing pad guarantees every
+// allocation a unique address even when T is zero-sized, so pointer
+// identity against the cancellation sentinel is always meaningful.
+type dbox[T any] struct {
+	v T
+	_ byte
+}
+
+// waitNode carries the shared fulfillment machinery for reservation nodes in
+// both the queue and the stack: an item slot CASed from nil to the datum,
+// and a parker for the blocked consumer.
+type waitNode[T any] struct {
+	item   atomic.Pointer[dbox[T]]
+	waiter atomic.Pointer[park.Parker]
+}
+
+// fulfill installs v into the reservation and wakes its owner. It reports
+// whether this caller won the fulfillment race.
+func (w *waitNode[T]) fulfill(v *dbox[T]) bool {
+	if !w.item.CompareAndSwap(nil, v) {
+		return false
+	}
+	if p := w.waiter.Load(); p != nil {
+		p.Unpark()
+	}
+	return true
+}
+
+// await blocks until the reservation is fulfilled, spinning briefly first
+// when profitable, and returns the datum.
+func (w *waitNode[T]) await(hot func() bool) *dbox[T] {
+	spins := 0
+	if hot() {
+		spins = spin.UntimedSpins()
+	}
+	for i := 0; ; i++ {
+		if x := w.item.Load(); x != nil {
+			return x
+		}
+		if spins > 0 {
+			spins--
+			spin.Pause(i)
+			continue
+		}
+		p := w.waiter.Load()
+		if p == nil {
+			p = park.New()
+			w.waiter.Store(p)
+			continue // re-check item before parking
+		}
+		p.Park()
+	}
+}
+
+// awaitTimeout is await with a deadline; ok is false on timeout, in which
+// case the reservation has been atomically canceled (item == canceled).
+func (w *waitNode[T]) awaitTimeout(hot func() bool, deadline time.Time, canceled *dbox[T]) (*dbox[T], bool) {
+	spins := 0
+	if hot() {
+		spins = spin.TimedSpins()
+	}
+	for i := 0; ; i++ {
+		if x := w.item.Load(); x != nil {
+			if x == canceled {
+				return nil, false
+			}
+			return x, true
+		}
+		if !time.Now().Before(deadline) {
+			w.item.CompareAndSwap(nil, canceled)
+			continue // reload: either we canceled or a fulfiller won
+		}
+		if spins > 0 {
+			spins--
+			spin.Pause(i)
+			continue
+		}
+		p := w.waiter.Load()
+		if p == nil {
+			p = park.New()
+			w.waiter.Store(p)
+			continue
+		}
+		p.ParkDeadline(deadline)
+	}
+}

@@ -1,0 +1,211 @@
+package dual
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// qnode is a list node that is either a data node (value deposited by a
+// producer, isData true) or a reservation (waitNode machinery, isData
+// false). The head node is always a dummy.
+type qnode[T any] struct {
+	waitNode[T]
+	next   atomic.Pointer[qnode[T]]
+	isData bool
+}
+
+// Queue is the nonblocking dual queue: FIFO for both data and reservations.
+// Enqueue never blocks; Dequeue blocks (spin-then-park) when no data is
+// present. Use NewQueue to create one.
+type Queue[T any] struct {
+	head     atomic.Pointer[qnode[T]]
+	tail     atomic.Pointer[qnode[T]]
+	canceled *dbox[T] // sentinel installed in reservations that time out
+}
+
+// NewQueue returns an empty dual queue.
+func NewQueue[T any]() *Queue[T] {
+	q := &Queue[T]{canceled: new(dbox[T])}
+	dummy := &qnode[T]{}
+	q.head.Store(dummy)
+	q.tail.Store(dummy)
+	return q
+}
+
+// Enqueue deposits v. If a consumer is waiting, v is handed to the oldest
+// waiting consumer and Enqueue returns once the hand-off is committed;
+// otherwise v is appended as a data node. Enqueue never blocks.
+func (q *Queue[T]) Enqueue(v T) {
+	vp := &dbox[T]{v: v}
+	var n *qnode[T]
+	for {
+		h := q.head.Load()
+		t := q.tail.Load()
+		if h == t || t.isData {
+			// Empty or all-data: append a data node (M&S enqueue).
+			next := t.next.Load()
+			if t != q.tail.Load() {
+				continue
+			}
+			if next != nil {
+				q.tail.CompareAndSwap(t, next)
+				continue
+			}
+			if n == nil {
+				n = &qnode[T]{isData: true}
+				n.item.Store(vp)
+			}
+			if t.next.CompareAndSwap(nil, n) {
+				q.tail.CompareAndSwap(t, n)
+				return
+			}
+			continue
+		}
+		// Reservations present: fulfill the head-most one.
+		m := h.next.Load()
+		if t != q.tail.Load() || h != q.head.Load() || m == nil {
+			continue // inconsistent snapshot
+		}
+		success := m.item.Load() == nil && m.fulfill(vp)
+		// Dequeue the former dummy whether or not we fulfilled: a
+		// failed CAS means m was fulfilled or canceled by another
+		// thread and must be retired either way.
+		q.head.CompareAndSwap(h, m)
+		if success {
+			return
+		}
+	}
+}
+
+// Dequeue removes and returns the oldest datum, blocking until a producer
+// supplies one.
+func (q *Queue[T]) Dequeue() T {
+	r := q.reserve()
+	if r.immediate != nil {
+		return r.immediate.v
+	}
+	x := r.node.await(func() bool { return q.head.Load().next.Load() == r.node })
+	q.helpRetire(r.node)
+	return x.v
+}
+
+// DequeueTimeout is Dequeue with patience d. ok is false on timeout.
+func (q *Queue[T]) DequeueTimeout(d time.Duration) (T, bool) {
+	var zero T
+	r := q.reserve()
+	if r.immediate != nil {
+		return r.immediate.v, true
+	}
+	deadline := time.Now().Add(d)
+	x, ok := r.node.awaitTimeout(func() bool { return q.head.Load().next.Load() == r.node }, deadline, q.canceled)
+	if !ok {
+		// The canceled reservation is abandoned in place; it is
+		// retired by the next thread that finds it at the head.
+		return zero, false
+	}
+	q.helpRetire(r.node)
+	return x.v, true
+}
+
+// TryDequeue takes a datum only if one is already present.
+func (q *Queue[T]) TryDequeue() (T, bool) {
+	var zero T
+	for {
+		h := q.head.Load()
+		t := q.tail.Load()
+		if h == t || !t.isData {
+			// Check for an in-flight enqueue lagging the tail.
+			if next := t.next.Load(); next != nil && h == t {
+				q.tail.CompareAndSwap(t, next)
+				continue
+			}
+			return zero, false
+		}
+		m := h.next.Load()
+		if h != q.head.Load() || m == nil {
+			continue
+		}
+		x := m.item.Load()
+		if x == nil || x == q.canceled || !m.item.CompareAndSwap(x, nil) {
+			q.head.CompareAndSwap(h, m) // retire claimed node, retry
+			continue
+		}
+		q.head.CompareAndSwap(h, m)
+		return x.v, true
+	}
+}
+
+type reservation[T any] struct {
+	node      *qnode[T]
+	immediate *dbox[T]
+}
+
+// reserve either claims an available datum (immediate non-nil) or appends a
+// reservation node and returns it.
+func (q *Queue[T]) reserve() reservation[T] {
+	var n *qnode[T]
+	for {
+		h := q.head.Load()
+		t := q.tail.Load()
+		if h == t || !t.isData {
+			// Empty or all-reservations: append our reservation.
+			next := t.next.Load()
+			if t != q.tail.Load() {
+				continue
+			}
+			if next != nil {
+				q.tail.CompareAndSwap(t, next)
+				continue
+			}
+			if n == nil {
+				n = &qnode[T]{}
+			}
+			if t.next.CompareAndSwap(nil, n) {
+				q.tail.CompareAndSwap(t, n)
+				return reservation[T]{node: n}
+			}
+			continue
+		}
+		// Data present: claim the head-most datum.
+		m := h.next.Load()
+		if t != q.tail.Load() || h != q.head.Load() || m == nil {
+			continue
+		}
+		x := m.item.Load()
+		claimed := x != nil && x != q.canceled && m.item.CompareAndSwap(x, nil)
+		q.head.CompareAndSwap(h, m)
+		if claimed {
+			return reservation[T]{immediate: x}
+		}
+	}
+}
+
+// helpRetire advances the head past our fulfilled reservation if it is the
+// current front node, so the fulfiller does not have to.
+func (q *Queue[T]) helpRetire(n *qnode[T]) {
+	h := q.head.Load()
+	if h.next.Load() == n {
+		q.head.CompareAndSwap(h, n)
+	}
+	n.waiter.Store(nil)
+}
+
+// Empty reports whether the queue holds no data and no reservations. The
+// answer may be stale immediately.
+func (q *Queue[T]) Empty() bool {
+	h := q.head.Load()
+	return h == q.tail.Load() && h.next.Load() == nil
+}
+
+// HasData reports whether the queue was observed holding data nodes.
+func (q *Queue[T]) HasData() bool {
+	t := q.tail.Load()
+	return t != q.head.Load() && t.isData
+}
+
+// HasReservations reports whether the queue was observed holding waiting
+// consumers.
+func (q *Queue[T]) HasReservations() bool {
+	t := q.tail.Load()
+	return t != q.head.Load() && !t.isData
+}

@@ -1,0 +1,171 @@
+package dual
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// snode is a stack node: either a data node or a reservation.
+type snode[T any] struct {
+	waitNode[T]
+	next   *snode[T] // immutable after push
+	isData bool
+}
+
+// Stack is the nonblocking dual stack: LIFO for both data and reservations.
+// Push never blocks; Pop blocks (spin-then-park) when no data is present.
+// The zero value is an empty stack, but NewStack must be used so the
+// cancellation sentinel exists.
+type Stack[T any] struct {
+	head     atomic.Pointer[snode[T]]
+	canceled *dbox[T]
+}
+
+// NewStack returns an empty dual stack.
+func NewStack[T any]() *Stack[T] {
+	return &Stack[T]{canceled: new(dbox[T])}
+}
+
+// Push deposits v. If consumers are waiting, the topmost reservation is
+// fulfilled directly; otherwise a data node is pushed. Push never blocks.
+func (s *Stack[T]) Push(v T) {
+	vp := &dbox[T]{v: v}
+	var n *snode[T]
+	for {
+		h := s.head.Load()
+		if h == nil || h.isData {
+			if n == nil {
+				n = &snode[T]{isData: true}
+				n.item.Store(vp)
+			}
+			n.next = h
+			if s.head.CompareAndSwap(h, n) {
+				return
+			}
+			continue
+		}
+		// Top is a reservation.
+		x := h.item.Load()
+		if x != nil {
+			// Fulfilled or canceled earlier; retire it and retry.
+			s.head.CompareAndSwap(h, h.next)
+			continue
+		}
+		if h.fulfill(vp) {
+			s.head.CompareAndSwap(h, h.next)
+			return
+		}
+	}
+}
+
+// Pop removes and returns the most recently pushed datum, blocking until a
+// producer supplies one.
+func (s *Stack[T]) Pop() T {
+	n, immediate := s.claimOrReserve()
+	if immediate != nil {
+		return immediate.v
+	}
+	x := n.await(func() bool { return s.head.Load() == n })
+	s.helpRetire(n)
+	return x.v
+}
+
+// PopTimeout is Pop with patience d. ok is false on timeout.
+func (s *Stack[T]) PopTimeout(d time.Duration) (T, bool) {
+	var zero T
+	n, immediate := s.claimOrReserve()
+	if immediate != nil {
+		return immediate.v, true
+	}
+	deadline := time.Now().Add(d)
+	x, ok := n.awaitTimeout(func() bool { return s.head.Load() == n }, deadline, s.canceled)
+	if !ok {
+		// Abandon the canceled node; it is unlinked when it surfaces
+		// at the top of the stack.
+		s.helpRetire(n)
+		return zero, false
+	}
+	s.helpRetire(n)
+	return x.v, true
+}
+
+// TryPop takes a datum only if one is already present.
+func (s *Stack[T]) TryPop() (T, bool) {
+	var zero T
+	for {
+		h := s.head.Load()
+		if h == nil {
+			return zero, false
+		}
+		if !h.isData {
+			if h.item.Load() != nil {
+				// Stale fulfilled/canceled reservation: retire.
+				s.head.CompareAndSwap(h, h.next)
+				continue
+			}
+			return zero, false
+		}
+		x := h.item.Load()
+		if x == nil || !h.item.CompareAndSwap(x, nil) {
+			s.head.CompareAndSwap(h, h.next)
+			continue
+		}
+		s.head.CompareAndSwap(h, h.next)
+		return x.v, true
+	}
+}
+
+// claimOrReserve either claims an available datum or pushes a reservation.
+func (s *Stack[T]) claimOrReserve() (*snode[T], *dbox[T]) {
+	var n *snode[T]
+	for {
+		h := s.head.Load()
+		if h == nil || !h.isData {
+			if h != nil && h.item.Load() != nil {
+				// Fulfilled/canceled reservation on top: retire.
+				s.head.CompareAndSwap(h, h.next)
+				continue
+			}
+			if n == nil {
+				n = &snode[T]{}
+			}
+			n.next = h
+			if s.head.CompareAndSwap(h, n) {
+				return n, nil
+			}
+			continue
+		}
+		x := h.item.Load()
+		if x == nil || !h.item.CompareAndSwap(x, nil) {
+			s.head.CompareAndSwap(h, h.next)
+			continue
+		}
+		s.head.CompareAndSwap(h, h.next)
+		return nil, x
+	}
+}
+
+// helpRetire pops our own node if it is still the top of the stack, and
+// forgets the waiter reference so the GC is not held back.
+func (s *Stack[T]) helpRetire(n *snode[T]) {
+	if s.head.Load() == n {
+		s.head.CompareAndSwap(n, n.next)
+	}
+	n.waiter.Store(nil)
+}
+
+// Empty reports whether the stack was observed empty.
+func (s *Stack[T]) Empty() bool { return s.head.Load() == nil }
+
+// HasData reports whether the stack was observed holding data.
+func (s *Stack[T]) HasData() bool {
+	h := s.head.Load()
+	return h != nil && h.isData
+}
+
+// HasReservations reports whether the stack was observed holding waiting
+// consumers.
+func (s *Stack[T]) HasReservations() bool {
+	h := s.head.Load()
+	return h != nil && !h.isData
+}

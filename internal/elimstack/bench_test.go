@@ -1,0 +1,40 @@
+package elimstack
+
+import (
+	"sync"
+	"testing"
+
+	"synchq/internal/treiber"
+)
+
+// Plain Treiber versus elimination-backoff under a concurrent push/pop
+// storm. On hardware with real parallelism the elimination variant pulls
+// ahead as contention rises (Hendler et al.'s result); on a small host
+// the arena's patience dominates, mirroring Ablation C.
+func BenchmarkStormPlainTreiber(b *testing.B) {
+	var s treiber.Stack[int]
+	storm(b, func(v int) { s.Push(v) }, func() { s.Pop() })
+}
+
+func BenchmarkStormEliminationBackoff(b *testing.B) {
+	s := New[int](0, 0)
+	storm(b, s.Push, func() { s.Pop() })
+}
+
+func storm(b *testing.B, push func(int), pop func()) {
+	const workers = 4
+	per := b.N / workers
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				push(i)
+				pop()
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,92 @@
+// Package elimstack implements the elimination-backoff stack of Hendler,
+// Shavit & Yerushalmi ("A Scalable Lock-Free Stack Algorithm", SPAA 2004)
+// — reference [4] of the paper, cited as the demonstration that
+// elimination makes stacks scale.
+//
+// The structure is a Treiber stack with an elimination arena as its
+// backoff path: when a push or pop loses a CAS on the stack head (i.e.
+// under contention), instead of retrying immediately it visits the arena,
+// where a concurrent push/pop pair can cancel out — the push hands its
+// value straight to the pop — without either thread ever touching the
+// stack again. Pairs that meet leave in O(1) with zero stack contention;
+// parties that find no partner return to the main stack.
+//
+// The paper's §5 discusses applying exactly this idea to synchronous
+// queues (our Ablation C); this package provides the cited baseline in its
+// original habitat, where the eliminated operations are push/pop rather
+// than put/take.
+package elimstack
+
+import (
+	"time"
+
+	"synchq/internal/exchanger"
+	"synchq/internal/treiber"
+)
+
+// Stack is a lock-free LIFO stack with elimination backoff. Use New to
+// create one; a Stack must not be copied after first use.
+type Stack[T any] struct {
+	stack    treiber.Stack[T]
+	arena    *exchanger.Arena[T]
+	patience time.Duration
+}
+
+// New returns an empty elimination-backoff stack. slots sizes the arena
+// (0 selects the platform default); patience bounds each elimination
+// attempt (0 selects a small default suited to backoff).
+func New[T any](slots int, patience time.Duration) *Stack[T] {
+	if patience <= 0 {
+		patience = 2 * time.Microsecond
+	}
+	return &Stack[T]{
+		arena:    exchanger.NewArena[T](slots),
+		patience: patience,
+	}
+}
+
+// Push adds v to the stack, possibly by handing it directly to a
+// concurrent Pop through the elimination arena.
+func (s *Stack[T]) Push(v T) {
+	for {
+		if s.stack.TryPush(v) {
+			return
+		}
+		// Contention on the head: back off into the arena.
+		if s.arena.TryGive(v, s.patience) {
+			return // eliminated against a concurrent pop
+		}
+	}
+}
+
+// Pop removes and returns the value on top of the stack, or a value handed
+// over by a concurrent Push through the arena. The second result is false
+// if the stack was observed empty and no partner appeared.
+func (s *Stack[T]) Pop() (T, bool) {
+	for {
+		v, ok, contended := s.stack.TryPop()
+		if ok {
+			return v, true
+		}
+		if !contended {
+			// Genuinely empty: one last elimination attempt
+			// catches a concurrent push, then give up.
+			if v, ok := s.arena.TryTake(s.patience); ok {
+				return v, true
+			}
+			var zero T
+			return zero, false
+		}
+		// Contention on the head: back off into the arena.
+		if v, ok := s.arena.TryTake(s.patience); ok {
+			return v, true // eliminated against a concurrent push
+		}
+	}
+}
+
+// Len reports the number of elements in the backing stack (elements in
+// flight through the arena are not counted). Snapshot only.
+func (s *Stack[T]) Len() int { return s.stack.Len() }
+
+// Empty reports whether the backing stack was observed empty.
+func (s *Stack[T]) Empty() bool { return s.stack.Empty() }

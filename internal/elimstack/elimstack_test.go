@@ -1,0 +1,113 @@
+package elimstack
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSequentialLIFO(t *testing.T) {
+	s := New[int](0, 0)
+	for i := 0; i < 100; i++ {
+		s.Push(i)
+	}
+	if s.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", s.Len())
+	}
+	for i := 99; i >= 0; i-- {
+		v, ok := s.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop = (%d,%v), want (%d,true)", v, ok, i)
+		}
+	}
+	if _, ok := s.Pop(); ok {
+		t.Fatal("Pop succeeded on empty stack")
+	}
+	if !s.Empty() {
+		t.Fatal("stack not empty after drain")
+	}
+}
+
+func TestEmptyPopDoesNotStealFromNobody(t *testing.T) {
+	s := New[int](2, time.Millisecond)
+	t0 := time.Now()
+	if _, ok := s.Pop(); ok {
+		t.Fatal("Pop fabricated a value")
+	}
+	// The final elimination attempt is bounded by the patience.
+	if time.Since(t0) > time.Second {
+		t.Fatal("empty Pop took far longer than its patience")
+	}
+}
+
+func TestEliminationPairsPushWithPop(t *testing.T) {
+	// With an empty backing stack, a pop waiting in the arena can be
+	// satisfied directly by a push that loses its first CAS... that race
+	// is hard to force, but a concurrent storm must conserve values
+	// whichever path each op takes.
+	s := New[int64](4, 50*time.Microsecond)
+	const producers, perProducer = 4, 2000
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(id int64) {
+			defer wg.Done()
+			for i := int64(0); i < perProducer; i++ {
+				s.Push(id<<32 | i)
+			}
+		}(int64(p))
+	}
+	var mu sync.Mutex
+	seen := make(map[int64]bool)
+	var cg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		cg.Add(1)
+		go func() {
+			defer cg.Done()
+			got := 0
+			for got < producers*perProducer/4 {
+				v, ok := s.Pop()
+				if !ok {
+					continue
+				}
+				mu.Lock()
+				if seen[v] {
+					t.Errorf("value %d popped twice", v)
+				}
+				seen[v] = true
+				mu.Unlock()
+				got++
+			}
+		}()
+	}
+	wg.Wait()
+	cg.Wait()
+	if len(seen) != producers*perProducer {
+		t.Fatalf("popped %d distinct values, want %d", len(seen), producers*perProducer)
+	}
+	if !s.Empty() {
+		t.Fatal("stack not empty after balanced run")
+	}
+}
+
+func TestMixedPushPopStress(t *testing.T) {
+	s := New[int](0, 0)
+	var wg sync.WaitGroup
+	var popped sync.Map
+	const workers, rounds = 4, 2000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(base int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				s.Push(base + i)
+				if v, ok := s.Pop(); ok {
+					if _, dup := popped.LoadOrStore(v, true); dup {
+						t.Errorf("value %d popped twice", v)
+					}
+				}
+			}
+		}(w * rounds * 10)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,46 @@
+package exchanger
+
+import "time"
+
+// Arena is an elimination front-end for a synchronous queue: producers and
+// consumers first try, with bounded patience, to meet in the arena; only on
+// failure do they fall back to the queue proper. Two threads that meet here
+// cancel each other out without ever touching the queue's head/tail words —
+// the contention-reduction idea the paper sketches in §5.
+//
+// An Arena never buffers: a producer that fails to meet a consumer within
+// its patience withdraws, preserving synchronous semantics.
+type Arena[T any] struct {
+	e *Exchanger[T]
+}
+
+// NewArena returns an elimination arena with the given number of slots
+// (minimum 1; pass 0 for the platform default).
+func NewArena[T any](slots int) *Arena[T] {
+	var e *Exchanger[T]
+	if slots <= 0 {
+		e = New[T]()
+	} else {
+		e = NewSize[T](slots)
+	}
+	e.asArena = true
+	return &Arena[T]{e: e}
+}
+
+// TryGive attempts to hand v to a consumer via the arena, waiting at most
+// patience. It reports whether the hand-off happened.
+func (a *Arena[T]) TryGive(v T, patience time.Duration) bool {
+	_, st := a.e.exchange(&xbox[T]{v: v}, true, time.Now().Add(patience), nil)
+	return st == OK
+}
+
+// TryTake attempts to receive a value from a producer via the arena,
+// waiting at most patience.
+func (a *Arena[T]) TryTake(patience time.Duration) (T, bool) {
+	x, st := a.e.exchange(nil, false, time.Now().Add(patience), nil)
+	if st != OK || x == nil {
+		var zero T
+		return zero, false
+	}
+	return x.v, true
+}

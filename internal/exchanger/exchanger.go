@@ -1,0 +1,297 @@
+// Package exchanger implements elimination-based pairing: an arena of slots
+// in which two threads meet, swap values, and leave without touching a
+// central data structure.
+//
+// Elimination (Shavit & Touitou) spreads the contention that the paper
+// identifies as the remaining bottleneck of its synchronous queues — all
+// threads CASing one head/tail word — across multiple memory locations. The
+// paper's authors applied the technique to the java.util.concurrent
+// Exchanger (Scherer, Lea & Scott 2005) and report, in §5, preliminary
+// experiments using elimination as a front-end to the synchronous queues;
+// this package provides both: a standalone Exchanger and an Arena usable as
+// an elimination front-end (benchmarked as Ablation C).
+package exchanger
+
+import (
+	"math/rand/v2"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"synchq/internal/park"
+	"synchq/internal/spin"
+)
+
+// Status is the outcome of a bounded exchange attempt.
+type Status int
+
+const (
+	// OK means a partner was found and values were swapped.
+	OK Status = iota
+	// Timeout means no partner arrived within the patience interval.
+	Timeout
+	// Canceled means the cancel channel fired first.
+	Canceled
+)
+
+// xnode is one party waiting in an arena slot: mine is the value it brings
+// (nil for a pure consumer in elimination mode), hole receives the
+// partner's value or a sentinel (canceled / taken-by-pure-consumer).
+type xnode[T any] struct {
+	mine   *xbox[T]
+	hole   atomic.Pointer[xbox[T]]
+	waiter atomic.Pointer[park.Parker]
+	isData bool
+}
+
+// slot is a padded arena cell, spacing the CAS targets so threads meeting
+// in different slots do not collide on a cache line — the entire point of
+// elimination.
+type slot[T any] struct {
+	_ [64]byte
+	n atomic.Pointer[xnode[T]]
+	_ [64]byte
+}
+
+// xbox boxes an exchanged value. The trailing pad guarantees every
+// allocation a unique address even when T is zero-sized, so pointer
+// identity against the hole sentinels is always meaningful.
+type xbox[T any] struct {
+	v T
+	_ byte
+}
+
+// Exchanger lets pairs of goroutines swap values: each party presents a
+// value and receives its partner's. Meetings are spread over an arena
+// sized to the machine. Use New to create one; an Exchanger must not be
+// copied after first use.
+type Exchanger[T any] struct {
+	arena    []slot[T]
+	canceled *xbox[T] // hole sentinel: party canceled
+	taken    *xbox[T] // hole sentinel: matched by a pure consumer
+	// asArena restricts meetings to complementary parties (data with
+	// request); a standalone exchanger lets any two parties meet.
+	asArena bool
+}
+
+// arenaSize picks the number of slots: one is enough at low parallelism;
+// contention spreading only pays with many hardware threads.
+func arenaSize() int {
+	n := runtime.GOMAXPROCS(0) / 2
+	if n < 1 {
+		n = 1
+	}
+	if n > 32 {
+		n = 32
+	}
+	return n
+}
+
+// New returns an Exchanger with a platform-sized arena.
+func New[T any]() *Exchanger[T] { return NewSize[T](arenaSize()) }
+
+// NewSize returns an Exchanger with the given number of arena slots
+// (minimum 1). Exposed so benchmarks can ablate the arena size.
+func NewSize[T any](slots int) *Exchanger[T] {
+	if slots < 1 {
+		slots = 1
+	}
+	return &Exchanger[T]{arena: make([]slot[T], slots), canceled: new(xbox[T]), taken: new(xbox[T])}
+}
+
+// Exchange presents v and blocks until a partner presents its own value,
+// then returns the partner's value.
+func (e *Exchanger[T]) Exchange(v T) T {
+	x, _ := e.exchange(&xbox[T]{v: v}, true, time.Time{}, nil)
+	return x.v
+}
+
+// ExchangeTimeout is Exchange with patience d; ok is false on timeout.
+func (e *Exchanger[T]) ExchangeTimeout(v T, d time.Duration) (T, bool) {
+	x, st := e.exchange(&xbox[T]{v: v}, true, time.Now().Add(d), nil)
+	if st != OK {
+		var zero T
+		return zero, false
+	}
+	return x.v, true
+}
+
+// ExchangeCancel is Exchange abandoned when cancel fires.
+func (e *Exchanger[T]) ExchangeCancel(v T, cancel <-chan struct{}) (T, Status) {
+	x, st := e.exchange(&xbox[T]{v: v}, true, time.Time{}, cancel)
+	if st != OK {
+		var zero T
+		return zero, st
+	}
+	return x.v, OK
+}
+
+// exchange is the engine shared by the standalone Exchanger and the Arena.
+// Slot 0 is the main location: only there does a party wait with its full
+// patience (or forever). Excursions to outer slots — taken after collisions
+// on the main slot — are strictly spin-bounded, after which the party falls
+// back to slot 0, the paper's "fall back to the main location" rule. This
+// guarantees that two unbounded parties eventually meet.
+func (e *Exchanger[T]) exchange(v *xbox[T], isData bool, deadline time.Time, cancel <-chan struct{}) (*xbox[T], Status) {
+	me := &xnode[T]{mine: v, isData: isData}
+	idx := 0
+	for {
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			return nil, Timeout
+		}
+		if cancel != nil {
+			select {
+			case <-cancel:
+				return nil, Canceled
+			default:
+			}
+		}
+		s := &e.arena[idx]
+		cur := s.n.Load()
+		switch {
+		case cur == nil && idx == 0:
+			if s.n.CompareAndSwap(nil, me) {
+				x, st := e.await(me, s, deadline, cancel)
+				if st == OK {
+					return x, OK
+				}
+				return nil, st
+			}
+			// Collision on the main slot: brief excursion.
+			idx = e.outerSlot()
+		case cur == nil:
+			if s.n.CompareAndSwap(nil, me) {
+				if x, ok := e.awaitBrief(me, s); ok {
+					return x, OK
+				}
+				// Withdrew; the node's hole is poisoned, so
+				// a fresh node is needed.
+				me = &xnode[T]{mine: v, isData: isData}
+			}
+			idx = 0
+		case !e.asArena || cur.isData != isData:
+			// Eligible partner: claim it and fulfill.
+			if s.n.CompareAndSwap(cur, nil) {
+				if cur.hole.CompareAndSwap(nil, e.fulfillValue(v)) {
+					if p := cur.waiter.Load(); p != nil {
+						p.Unpark()
+					}
+					return cur.mine, OK
+				}
+				// Partner canceled between claim and
+				// fulfill; keep looking.
+			}
+		default:
+			// Same-mode occupant (arena mode): look elsewhere,
+			// alternating between the main and an outer slot.
+			if idx == 0 {
+				idx = e.outerSlot()
+			} else {
+				idx = 0
+			}
+		}
+	}
+}
+
+// outerSlot picks a random non-main slot, or the main slot if the arena
+// has only one.
+func (e *Exchanger[T]) outerSlot() int {
+	if len(e.arena) <= 1 {
+		return 0
+	}
+	return 1 + rand.IntN(len(e.arena)-1)
+}
+
+// awaitBrief spins for a bounded interval waiting for a partner at an
+// outer slot, then withdraws. It never parks: outer slots are purely for
+// contention spreading, so waits there stay cheap and bounded.
+func (e *Exchanger[T]) awaitBrief(me *xnode[T], s *slot[T]) (*xbox[T], bool) {
+	for i := 0; i < spin.MaxUntimedSpins; i++ {
+		x := me.hole.Load()
+		if x != nil && x != e.canceled {
+			if x == e.taken {
+				return nil, true
+			}
+			return x, true
+		}
+		spin.Pause(i)
+	}
+	if me.hole.CompareAndSwap(nil, e.canceled) {
+		s.n.CompareAndSwap(me, nil) // withdraw
+		return nil, false
+	}
+	// A partner fulfilled us as we were giving up.
+	x := me.hole.Load()
+	if x == e.taken {
+		return nil, true
+	}
+	return x, true
+}
+
+// fulfillValue is what we deposit into the partner's hole: our value, or —
+// for a pure consumer bringing no value — the "taken" sentinel.
+func (e *Exchanger[T]) fulfillValue(v *xbox[T]) *xbox[T] {
+	if v != nil {
+		return v
+	}
+	return e.taken
+}
+
+// await waits for our hole to be filled, spin-then-park, cancelling on
+// deadline/cancel. On cancellation it also withdraws the node from its
+// slot so later arrivals do not claim a dead node.
+func (e *Exchanger[T]) await(me *xnode[T], s *slot[T], deadline time.Time, cancel <-chan struct{}) (*xbox[T], Status) {
+	spins := spin.UntimedSpins()
+	if !deadline.IsZero() {
+		spins = spin.TimedSpins()
+	}
+	var p *park.Parker
+	status := Timeout
+	for i := 0; ; i++ {
+		x := me.hole.Load()
+		if x != nil {
+			switch x {
+			case e.canceled:
+				s.n.CompareAndSwap(me, nil) // withdraw
+				return nil, status
+			case e.taken:
+				return nil, OK // matched by a pure consumer
+			default:
+				return x, OK
+			}
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			status = Timeout
+			me.hole.CompareAndSwap(nil, e.canceled)
+			continue
+		}
+		if cancel != nil {
+			select {
+			case <-cancel:
+				status = Canceled
+				me.hole.CompareAndSwap(nil, e.canceled)
+				continue
+			default:
+			}
+		}
+		if spins > 0 {
+			spins--
+			spin.Pause(i)
+			continue
+		}
+		if p == nil {
+			p = park.New()
+			me.waiter.Store(p)
+			continue
+		}
+		switch p.Wait(deadline, cancel) {
+		case park.Unparked:
+		case park.DeadlineExceeded:
+			status = Timeout
+			me.hole.CompareAndSwap(nil, e.canceled)
+		case park.Canceled:
+			status = Canceled
+			me.hole.CompareAndSwap(nil, e.canceled)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package fairlock
+
+import (
+	"sync"
+	"testing"
+)
+
+// BenchmarkUncontended compares the FIFO-fair lock's uncontended cost with
+// sync.Mutex. The gap is small here; the interesting difference is under
+// contention, where strict handoff forbids barging.
+func BenchmarkUncontended(b *testing.B) {
+	b.Run("fairlock", func(b *testing.B) {
+		var m Mutex
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Lock()
+			m.Unlock()
+		}
+	})
+	b.Run("sync.Mutex", func(b *testing.B) {
+		var m sync.Mutex
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Lock()
+			m.Unlock()
+		}
+	})
+}
+
+// BenchmarkContended is the pileup the paper blames for the Java 5 fair
+// queue's slowness: strict FIFO handoff forces a full deschedule/wake per
+// ownership change once waiters queue up, while the barging sync.Mutex
+// lets the running thread take the lock again.
+func BenchmarkContended(b *testing.B) {
+	run := func(b *testing.B, lock sync.Locker) {
+		const workers = 4
+		var wg sync.WaitGroup
+		per := b.N / workers
+		b.ResetTimer()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					lock.Lock()
+					lock.Unlock() //nolint:staticcheck // intentional empty section
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	b.Run("fairlock", func(b *testing.B) { run(b, &Mutex{}) })
+	b.Run("sync.Mutex", func(b *testing.B) { run(b, &sync.Mutex{}) })
+}

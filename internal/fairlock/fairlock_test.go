@@ -1,0 +1,122 @@
+package fairlock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMutualExclusion(t *testing.T) {
+	var m Mutex
+	var counter int
+	var wg sync.WaitGroup
+	const workers, rounds = 8, 1000
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < rounds; j++ {
+				m.Lock()
+				counter++
+				m.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != workers*rounds {
+		t.Fatalf("counter = %d, want %d", counter, workers*rounds)
+	}
+}
+
+func TestFIFOHandoff(t *testing.T) {
+	var m Mutex
+	m.Lock()
+	const n = 6
+	order := make(chan int, n)
+	for i := 0; i < n; i++ {
+		i := i
+		go func() {
+			m.Lock()
+			order <- i
+			m.Unlock()
+		}()
+		// Queue each waiter before launching the next.
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			m.mu.Lock()
+			queued := m.waiters.Len()
+			m.mu.Unlock()
+			if queued == i+1 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("waiter %d never queued", i)
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	m.Unlock()
+	for i := 0; i < n; i++ {
+		if got := <-order; got != i {
+			t.Fatalf("lock granted to waiter %d at position %d (FIFO violated)", got, i)
+		}
+	}
+}
+
+func TestTryLock(t *testing.T) {
+	var m Mutex
+	if !m.TryLock() {
+		t.Fatal("TryLock failed on a free lock")
+	}
+	if m.TryLock() {
+		t.Fatal("TryLock succeeded on a held lock")
+	}
+	m.Unlock()
+	if !m.TryLock() {
+		t.Fatal("TryLock failed after Unlock")
+	}
+	m.Unlock()
+}
+
+func TestUnlockOfUnlockedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Unlock of unlocked mutex did not panic")
+		}
+	}()
+	var m Mutex
+	m.Unlock()
+}
+
+func TestOwnershipTransfersDirectly(t *testing.T) {
+	// After Unlock hands the lock to a waiter, a fresh TryLock must fail:
+	// no barging past a queued waiter.
+	var m Mutex
+	m.Lock()
+	entered := make(chan struct{})
+	go func() {
+		m.Lock()
+		close(entered)
+		time.Sleep(20 * time.Millisecond)
+		m.Unlock()
+	}()
+	// Wait until the goroutine is queued.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		m.mu.Lock()
+		queued := m.waiters.Len()
+		m.mu.Unlock()
+		if queued == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	m.Unlock()
+	<-entered
+	if m.TryLock() {
+		t.Fatal("TryLock barged while the lock was handed to a waiter")
+	}
+}

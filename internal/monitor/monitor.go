@@ -1,0 +1,66 @@
+// Package monitor implements Java-style intrinsic monitors: a mutual
+// exclusion lock with an associated condition supporting Wait, Notify, and
+// NotifyAll.
+//
+// The paper's naive synchronous queue (Listing 3) is written against exactly
+// this primitive ("synchronized" methods plus wait/notifyAll), and its poor
+// performance — a number of wake-ups quadratic in the number of waiting
+// threads — is a property of the broadcast pattern this package faithfully
+// provides.
+package monitor
+
+import "sync"
+
+// Monitor couples a lock with a condition variable, mirroring a Java object
+// monitor. The zero value is ready to use. A Monitor must not be copied
+// after first use.
+type Monitor struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	once sync.Once
+}
+
+func (m *Monitor) init() {
+	m.once.Do(func() { m.cond = sync.NewCond(&m.mu) })
+}
+
+// Lock enters the monitor.
+func (m *Monitor) Lock() {
+	m.init()
+	m.mu.Lock()
+}
+
+// Unlock exits the monitor.
+func (m *Monitor) Unlock() {
+	m.mu.Unlock()
+}
+
+// Wait atomically releases the monitor and blocks until notified, then
+// re-acquires the monitor before returning. As with Java's Object.wait, the
+// caller must hold the monitor and must re-check its predicate in a loop.
+func (m *Monitor) Wait() {
+	m.init()
+	m.cond.Wait()
+}
+
+// Notify wakes one goroutine blocked in Wait, if any. The caller must hold
+// the monitor.
+func (m *Monitor) Notify() {
+	m.init()
+	m.cond.Signal()
+}
+
+// NotifyAll wakes every goroutine blocked in Wait. The caller must hold the
+// monitor. This is the quadratic-wakeup hammer the naive queue uses.
+func (m *Monitor) NotifyAll() {
+	m.init()
+	m.cond.Broadcast()
+}
+
+// Do runs f while holding the monitor, a convenience for simple critical
+// sections.
+func (m *Monitor) Do(f func()) {
+	m.Lock()
+	defer m.Unlock()
+	f()
+}

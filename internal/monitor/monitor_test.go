@@ -1,0 +1,110 @@
+package monitor
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMutualExclusion(t *testing.T) {
+	var m Monitor
+	var counter int
+	var wg sync.WaitGroup
+	const workers, rounds = 8, 1000
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < rounds; j++ {
+				m.Lock()
+				counter++
+				m.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != workers*rounds {
+		t.Fatalf("counter = %d, want %d", counter, workers*rounds)
+	}
+}
+
+func TestWaitNotify(t *testing.T) {
+	var m Monitor
+	ready := false
+	var woke atomic.Bool
+	go func() {
+		m.Lock()
+		for !ready {
+			m.Wait()
+		}
+		m.Unlock()
+		woke.Store(true)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if woke.Load() {
+		t.Fatal("waiter proceeded before predicate was set")
+	}
+	m.Lock()
+	ready = true
+	m.Notify()
+	m.Unlock()
+	deadline := time.Now().Add(5 * time.Second)
+	for !woke.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("Notify did not wake the waiter")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestNotifyAllWakesEveryWaiter(t *testing.T) {
+	var m Monitor
+	released := false
+	const n = 6
+	var woke sync.WaitGroup
+	woke.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			m.Lock()
+			for !released {
+				m.Wait()
+			}
+			m.Unlock()
+			woke.Done()
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	m.Lock()
+	released = true
+	m.NotifyAll()
+	m.Unlock()
+	done := make(chan struct{})
+	go func() { woke.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("NotifyAll did not wake every waiter")
+	}
+}
+
+func TestDoRunsUnderLock(t *testing.T) {
+	var m Monitor
+	var inside atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				m.Do(func() {
+					if inside.Add(1) != 1 {
+						t.Error("two goroutines inside the monitor")
+					}
+					inside.Add(-1)
+				})
+			}
+		}()
+	}
+	wg.Wait()
+}

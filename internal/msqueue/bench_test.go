@@ -1,0 +1,45 @@
+package msqueue
+
+import (
+	"sync"
+	"testing"
+)
+
+// Sequential enqueue/dequeue round trip.
+func BenchmarkSequentialRoundTrip(b *testing.B) {
+	q := New[int]()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(i)
+		q.Dequeue()
+	}
+}
+
+// Producer/consumer pairs hammering the queue; the M&S queue is the
+// contention profile the synchronous dual queue inherits.
+func BenchmarkConcurrentPingPong(b *testing.B) {
+	q := New[int]()
+	var wg sync.WaitGroup
+	const pairs = 2
+	per := b.N / pairs
+	b.ResetTimer()
+	for p := 0; p < pairs; p++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				q.Enqueue(i)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			got := 0
+			for got < per {
+				if _, ok := q.Dequeue(); ok {
+					got++
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

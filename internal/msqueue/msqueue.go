@@ -1,0 +1,103 @@
+// Package msqueue implements the Michael & Scott nonblocking FIFO queue
+// (PODC 1996), the classic lock-free queue from which the paper's
+// synchronous dual queue is derived.
+//
+// The structure is a singly linked list with head and tail pointers and a
+// permanent dummy node at the head. Enqueue swings tail.next with CAS and
+// then the tail pointer itself; lagging tails are helped forward by any
+// thread that observes them. Dequeue advances head past the dummy.
+package msqueue
+
+import "sync/atomic"
+
+type node[T any] struct {
+	value T
+	next  atomic.Pointer[node[T]]
+}
+
+// Queue is a lock-free multi-producer multi-consumer FIFO queue. Use New to
+// create one. A Queue must not be copied after first use.
+type Queue[T any] struct {
+	head atomic.Pointer[node[T]]
+	tail atomic.Pointer[node[T]]
+}
+
+// New returns an empty queue.
+func New[T any]() *Queue[T] {
+	q := &Queue[T]{}
+	dummy := &node[T]{}
+	q.head.Store(dummy)
+	q.tail.Store(dummy)
+	return q
+}
+
+// Enqueue appends v to the tail of the queue. It never blocks; under
+// contention some CAS attempts retry, but system-wide progress is
+// guaranteed (lock freedom).
+func (q *Queue[T]) Enqueue(v T) {
+	n := &node[T]{value: v}
+	for {
+		t := q.tail.Load()
+		next := t.next.Load()
+		if t != q.tail.Load() {
+			continue // inconsistent snapshot
+		}
+		if next != nil {
+			// Tail is lagging; help swing it forward.
+			q.tail.CompareAndSwap(t, next)
+			continue
+		}
+		if t.next.CompareAndSwap(nil, n) {
+			q.tail.CompareAndSwap(t, n)
+			return
+		}
+	}
+}
+
+// Dequeue removes and returns the value at the head of the queue. The
+// second result is false if the queue was observed empty.
+func (q *Queue[T]) Dequeue() (T, bool) {
+	var zero T
+	for {
+		h := q.head.Load()
+		t := q.tail.Load()
+		next := h.next.Load()
+		if h != q.head.Load() {
+			continue
+		}
+		if h == t {
+			if next == nil {
+				return zero, false // empty
+			}
+			// Tail lagging behind an in-progress enqueue; help.
+			q.tail.CompareAndSwap(t, next)
+			continue
+		}
+		v := next.value
+		if q.head.CompareAndSwap(h, next) {
+			// Drop the value reference from the new dummy so the
+			// GC is not blocked by long-lived dummies (the paper's
+			// "forget references" pragmatic).
+			var z T
+			next.value = z
+			return v, true
+		}
+	}
+}
+
+// Empty reports whether the queue was observed empty. The answer may be
+// stale immediately.
+func (q *Queue[T]) Empty() bool {
+	h := q.head.Load()
+	return h.next.Load() == nil
+}
+
+// Len counts the elements by walking the list. It is linear time, intended
+// for tests and diagnostics only, and is only a snapshot under concurrency.
+func (q *Queue[T]) Len() int {
+	n := 0
+	for cur := q.head.Load().next.Load(); cur != nil; cur = cur.next.Load() {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,158 @@
+package msqueue
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestFIFOOrder(t *testing.T) {
+	q := New[int]()
+	for i := 0; i < 100; i++ {
+		q.Enqueue(i)
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := q.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("Dequeue = (%d,%v), want (%d,true)", v, ok, i)
+		}
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("Dequeue succeeded on empty queue")
+	}
+}
+
+func TestEmptyAndLen(t *testing.T) {
+	q := New[string]()
+	if !q.Empty() || q.Len() != 0 {
+		t.Fatal("fresh queue not empty")
+	}
+	q.Enqueue("a")
+	q.Enqueue("b")
+	if q.Empty() || q.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", q.Len())
+	}
+	q.Dequeue()
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", q.Len())
+	}
+}
+
+func TestSequentialMatchesModel(t *testing.T) {
+	// Property: any sequence of enqueue/dequeue operations matches a
+	// slice-based model.
+	f := func(ops []int16) bool {
+		q := New[int16]()
+		var model []int16
+		for _, op := range ops {
+			if op >= 0 {
+				q.Enqueue(op)
+				model = append(model, op)
+			} else {
+				v, ok := q.Dequeue()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+					continue
+				}
+				if !ok || v != model[0] {
+					return false
+				}
+				model = model[1:]
+			}
+		}
+		return q.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentConservation(t *testing.T) {
+	q := New[int64]()
+	const producers, perProducer = 8, 2000
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(id int64) {
+			defer wg.Done()
+			for i := int64(0); i < perProducer; i++ {
+				q.Enqueue(id<<32 | i)
+			}
+		}(int64(p))
+	}
+	var mu sync.Mutex
+	seen := make(map[int64]bool)
+	var cg sync.WaitGroup
+	stop := make(chan struct{})
+	for c := 0; c < 8; c++ {
+		cg.Add(1)
+		go func() {
+			defer cg.Done()
+			for {
+				v, ok := q.Dequeue()
+				if !ok {
+					select {
+					case <-stop:
+						// Drain once more to avoid a race
+						// between stop and a late enqueue.
+						for {
+							v, ok := q.Dequeue()
+							if !ok {
+								return
+							}
+							mu.Lock()
+							seen[v] = true
+							mu.Unlock()
+						}
+					default:
+						continue
+					}
+				}
+				mu.Lock()
+				if seen[v] {
+					t.Errorf("value %d dequeued twice", v)
+				}
+				seen[v] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	cg.Wait()
+	if len(seen) != producers*perProducer {
+		t.Fatalf("dequeued %d distinct values, want %d", len(seen), producers*perProducer)
+	}
+}
+
+func TestPerProducerOrderPreserved(t *testing.T) {
+	// FIFO per producer: values from one producer must come out in the
+	// order they went in, even with racing producers.
+	q := New[int64]()
+	const producers, perProducer = 4, 3000
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(id int64) {
+			defer wg.Done()
+			for i := int64(0); i < perProducer; i++ {
+				q.Enqueue(id<<32 | i)
+			}
+		}(int64(p))
+	}
+	wg.Wait()
+	last := make(map[int64]int64)
+	for {
+		v, ok := q.Dequeue()
+		if !ok {
+			break
+		}
+		id, seq := v>>32, v&0xffffffff
+		if prev, seen := last[id]; seen && seq <= prev {
+			t.Fatalf("producer %d: sequence %d after %d", id, seq, prev)
+		}
+		last[id] = seq
+	}
+}

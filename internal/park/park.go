@@ -1,0 +1,126 @@
+// Package park provides goroutine blocking with permit semantics, modeled on
+// java.util.concurrent.locks.LockSupport, which the paper's implementations
+// use to deschedule waiting threads.
+//
+// A Parker holds at most one permit. Unpark makes the permit available;
+// Park consumes the permit, blocking until one is available. An Unpark that
+// arrives before the corresponding Park is therefore never lost — exactly
+// the property the synchronous queue algorithms rely on, because the
+// fulfilling thread may call Unpark between the waiter's decision to block
+// and the waiter actually blocking.
+package park
+
+import (
+	"sync"
+	"time"
+)
+
+// Parker blocks and unblocks a single goroutine with one-permit semantics.
+// A Parker must be created with New and must not be copied after first use.
+// Park and ParkTimeout may only be called by one goroutine at a time (the
+// owner); Unpark may be called by any goroutine.
+type Parker struct {
+	ch chan struct{}
+}
+
+// New returns a Parker with no permit available.
+func New() *Parker {
+	return &Parker{ch: make(chan struct{}, 1)}
+}
+
+// Unpark makes the permit available, unblocking a current or future Park.
+// Multiple Unparks coalesce into a single permit.
+func (p *Parker) Unpark() {
+	select {
+	case p.ch <- struct{}{}:
+	default:
+	}
+}
+
+// Park blocks until the permit is available and consumes it.
+func (p *Parker) Park() {
+	<-p.ch
+}
+
+// TryPark consumes the permit if one is immediately available and reports
+// whether it did.
+func (p *Parker) TryPark() bool {
+	select {
+	case <-p.ch:
+		return true
+	default:
+		return false
+	}
+}
+
+// timerPool recycles timers across ParkTimeout calls. Timed waits are on the
+// hot path of poll/offer with patience, so avoiding a timer allocation per
+// wait matters.
+var timerPool = sync.Pool{
+	New: func() any {
+		t := time.NewTimer(time.Hour)
+		if !t.Stop() {
+			<-t.C
+		}
+		return t
+	},
+}
+
+// ParkTimeout blocks until the permit is available or d elapses. It returns
+// true if the permit was consumed, false on timeout. A non-positive d polls
+// the permit without blocking.
+func (p *Parker) ParkTimeout(d time.Duration) bool {
+	if d <= 0 {
+		return p.TryPark()
+	}
+	// Fast path: permit already available.
+	select {
+	case <-p.ch:
+		return true
+	default:
+	}
+	t := timerPool.Get().(*time.Timer)
+	t.Reset(d)
+	defer func() {
+		if !t.Stop() {
+			select {
+			case <-t.C:
+			default:
+			}
+		}
+		timerPool.Put(t)
+	}()
+	select {
+	case <-p.ch:
+		return true
+	case <-t.C:
+		return false
+	}
+}
+
+// ParkDeadline blocks until the permit is available or the deadline passes.
+// A zero deadline means wait forever. It returns true if the permit was
+// consumed.
+func (p *Parker) ParkDeadline(deadline time.Time) bool {
+	if deadline.IsZero() {
+		p.Park()
+		return true
+	}
+	return p.ParkTimeout(time.Until(deadline))
+}
+
+// ParkChan blocks until the permit is available or the given channel is
+// closed/receives (typically ctx.Done()). It returns true if the permit was
+// consumed, false if the channel fired first.
+func (p *Parker) ParkChan(cancel <-chan struct{}) bool {
+	if cancel == nil {
+		p.Park()
+		return true
+	}
+	select {
+	case <-p.ch:
+		return true
+	case <-cancel:
+		return false
+	}
+}

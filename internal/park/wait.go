@@ -1,0 +1,57 @@
+package park
+
+import "time"
+
+// WaitResult reports why a Wait call returned.
+type WaitResult int
+
+const (
+	// Unparked means the permit was consumed.
+	Unparked WaitResult = iota
+	// DeadlineExceeded means the deadline passed first.
+	DeadlineExceeded
+	// Canceled means the cancel channel fired first.
+	Canceled
+)
+
+// Wait blocks until the permit is available, the deadline passes, or the
+// cancel channel fires, whichever comes first. A zero deadline means no
+// deadline; a nil cancel channel never fires. Wait(zero, nil) is equivalent
+// to Park.
+func (p *Parker) Wait(deadline time.Time, cancel <-chan struct{}) WaitResult {
+	// Fast path: permit already available.
+	select {
+	case <-p.ch:
+		return Unparked
+	default:
+	}
+
+	var timerC <-chan time.Time
+	if !deadline.IsZero() {
+		d := time.Until(deadline)
+		if d <= 0 {
+			return DeadlineExceeded
+		}
+		t := timerPool.Get().(*time.Timer)
+		t.Reset(d)
+		defer func() {
+			if !t.Stop() {
+				select {
+				case <-t.C:
+				default:
+				}
+			}
+			timerPool.Put(t)
+		}()
+		timerC = t.C
+	}
+
+	select {
+	case <-p.ch:
+		return Unparked
+	case <-timerC:
+		return DeadlineExceeded
+	case <-cancel:
+		return Canceled
+	}
+}

@@ -1,0 +1,142 @@
+package sem
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestFastBasicAcquireRelease(t *testing.T) {
+	f := NewFast(2)
+	f.Acquire()
+	f.Acquire()
+	if f.TryAcquire() {
+		t.Fatal("TryAcquire succeeded with zero permits")
+	}
+	f.Release()
+	if !f.TryAcquire() {
+		t.Fatal("TryAcquire failed with one permit")
+	}
+}
+
+func TestFastBlocksAtZero(t *testing.T) {
+	f := NewFast(0)
+	var acquired atomic.Bool
+	go func() {
+		f.Acquire()
+		acquired.Store(true)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if acquired.Load() {
+		t.Fatal("Acquire returned with zero permits")
+	}
+	f.Release()
+	deadline := time.Now().Add(5 * time.Second)
+	for !acquired.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("Release did not unblock Acquire")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestFastReleaseBeforeRegistrationCompletes(t *testing.T) {
+	// Hammer the registration race: acquirers decrement, then releasers
+	// fire before the acquirer reaches the wait list. Release must spin
+	// until the committed waiter registers; nothing may deadlock.
+	f := NewFast(0)
+	const rounds = 5000
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			f.Acquire()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			f.Release()
+		}
+	}()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("fast semaphore deadlocked under acquire/release hammer")
+	}
+}
+
+func TestFastAsMutex(t *testing.T) {
+	f := NewFast(1)
+	var counter int
+	var wg sync.WaitGroup
+	const workers, rounds = 8, 1000
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < rounds; j++ {
+				f.Acquire()
+				counter++
+				f.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != workers*rounds {
+		t.Fatalf("counter = %d, want %d (mutual exclusion violated)", counter, workers*rounds)
+	}
+}
+
+func TestFastCountingInvariant(t *testing.T) {
+	f := func(initial uint8, releases uint8) bool {
+		ini := int(initial % 16)
+		rel := int(releases % 16)
+		s := NewFast(ini)
+		for i := 0; i < rel; i++ {
+			s.Release()
+		}
+		total := ini + rel
+		for i := 0; i < total; i++ {
+			if !s.TryAcquire() {
+				return false
+			}
+		}
+		return !s.TryAcquire() && s.Permits() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFastManyWaitersAllWake(t *testing.T) {
+	f := NewFast(0)
+	const n = 16
+	var woke sync.WaitGroup
+	woke.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			f.Acquire()
+			woke.Done()
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	for i := 0; i < n; i++ {
+		f.Release()
+	}
+	done := make(chan struct{})
+	go func() { woke.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("not all waiters woke")
+	}
+	if f.Permits() != 0 {
+		t.Fatalf("Permits = %d after balanced run, want 0", f.Permits())
+	}
+}

@@ -1,0 +1,430 @@
+// Package sim is a deterministic discrete-event simulator of a shared-
+// memory multiprocessor, used to reproduce the paper's contention effects
+// on hosts that lack real hardware parallelism.
+//
+// The reproduction's benchmark host has a single hardware thread, so the
+// phenomena the paper measures on 16-way SPARC hardware — cache-line
+// contention on the queues' head/tail words, lock convoys under
+// preemption, the cost of blocking versus spinning — cannot occur
+// natively. Following the substitution rule in DESIGN.md, this package
+// models them: P simulated processors execute simulated threads whose
+// memory accesses are charged through an invalidation-based coherence cost
+// model (a read or write to a word last written by another processor costs
+// a remote miss; repeated local access is cheap), with parking, wake-up
+// latency, context-switch cost, and preemption quanta.
+//
+// The five algorithms' synchronization skeletons are reimplemented against
+// this machine (queues.go); runner.go regenerates Figure 3 on the
+// simulated multiprocessor, where the paper's gaps — muted on one real
+// CPU — reappear. The simulation is fully deterministic: scheduling picks
+// the minimum virtual clock (ties by thread id), so every run of the same
+// configuration produces identical results.
+package sim
+
+import (
+	"fmt"
+)
+
+// Config holds the machine's cost model, in abstract cycles.
+type Config struct {
+	// Procs is the number of simulated processors.
+	Procs int
+	// LocalCost is a cache-hit memory access.
+	LocalCost int64
+	// RemoteCost is a coherence miss (the word was written by another
+	// processor since this thread last touched it).
+	RemoteCost int64
+	// CASExtra is the additional cost of a read-modify-write over a
+	// plain access (fence/exclusive-ownership overhead).
+	CASExtra int64
+	// ParkCost is the scheduler work to deschedule a thread.
+	ParkCost int64
+	// UnparkCost is the scheduler work to make a thread runnable.
+	UnparkCost int64
+	// WakeLatency is the delay before an unparked thread can run.
+	WakeLatency int64
+	// CtxSwitch is charged whenever a thread is (re)dispatched onto a
+	// processor.
+	CtxSwitch int64
+	// Quantum is the preemption interval.
+	Quantum int64
+}
+
+// DefaultConfig returns a cost model with the relative magnitudes the
+// paper's discussion uses: remote misses tens of cycles, park/unpark and
+// context switches thousands ("the OS scheduler may take thousands of
+// cycles to block or unblock threads").
+func DefaultConfig(procs int) Config {
+	return Config{
+		Procs:       procs,
+		LocalCost:   1,
+		RemoteCost:  50,
+		CASExtra:    20,
+		ParkCost:    1500,
+		UnparkCost:  800,
+		WakeLatency: 3000,
+		CtxSwitch:   2000,
+		Quantum:     50000,
+	}
+}
+
+// Cell is a handle to one simulated shared-memory word.
+type Cell int
+
+type cellState struct {
+	val        int64
+	version    int64
+	lastWriter int
+}
+
+type tstate int
+
+const (
+	tsRunning tstate = iota // owns a processor; has (or will post) a pending op
+	tsWaiting               // runnable, waiting for a processor
+	tsParked                // descheduled until Unpark
+	tsDone
+)
+
+type opKind int
+
+const (
+	opRead opKind = iota
+	opWrite
+	opCAS
+	opPark
+	opUnpark
+	opWork
+	opExit
+)
+
+type op struct {
+	kind   opKind
+	cell   Cell
+	old    int64
+	new    int64
+	target *Thread
+	cost   int64 // for opWork
+}
+
+type result struct {
+	val int64
+	ok  bool
+}
+
+// Thread is a simulated thread. Its program runs on a real goroutine that
+// executes in lockstep with the engine: exactly one thread goroutine is
+// ever between "resumed" and "posted next op", so thread programs may
+// safely touch engine-owned structures during their turn.
+type Thread struct {
+	id  int
+	eng *Engine
+
+	clock     int64
+	quantum   int64
+	state     tstate
+	proc      int
+	permit    bool
+	parkWoken bool
+	seen      map[Cell]int64
+
+	pending op
+	posted  chan struct{}
+	resume  chan result
+}
+
+// ID returns the thread's id (its index in the program list).
+func (t *Thread) ID() int { return t.id }
+
+// Engine is one simulation instance. Create with New, add cells and
+// threads, then Run.
+type Engine struct {
+	cfg      Config
+	cells    []cellState
+	threads  []*Thread
+	procFree []int64
+	procUsed []bool
+	now      int64
+	liveOps  int
+}
+
+// New returns an engine with the given cost model.
+func New(cfg Config) *Engine {
+	if cfg.Procs < 1 {
+		cfg.Procs = 1
+	}
+	return &Engine{
+		cfg:      cfg,
+		procFree: make([]int64, cfg.Procs),
+		procUsed: make([]bool, cfg.Procs),
+	}
+}
+
+// NewCell allocates a shared word (initial value v). May be called before
+// Run or by a thread during its turn.
+func (e *Engine) NewCell(v int64) Cell {
+	e.cells = append(e.cells, cellState{val: v, lastWriter: -1})
+	return Cell(len(e.cells) - 1)
+}
+
+// NewCell allocates a cell from within a thread program.
+func (t *Thread) NewCell(v int64) Cell { return t.eng.NewCell(v) }
+
+// Thread returns thread i; valid once Run has created the threads. Thread
+// programs must fetch cross-thread references through this accessor (or
+// other engine-owned state) only after their first operation — prologue
+// code runs before the simulation starts and in nondeterministic real
+// order.
+func (e *Engine) Thread(i int) *Thread { return e.threads[i] }
+
+// Run executes the programs to completion and returns the virtual time at
+// which the last thread finished, in cycles. It panics on deadlock (all
+// live threads parked with no permit).
+func (e *Engine) Run(programs []func(*Thread)) int64 {
+	e.threads = make([]*Thread, len(programs))
+	for i := range programs {
+		e.threads[i] = &Thread{
+			id:     i,
+			eng:    e,
+			state:  tsWaiting,
+			proc:   -1,
+			seen:   make(map[Cell]int64),
+			posted: make(chan struct{}),
+			resume: make(chan result),
+		}
+	}
+	for i, prog := range programs {
+		t := e.threads[i]
+		p := prog
+		go func() {
+			p(t)
+			t.pending = op{kind: opExit}
+			t.posted <- struct{}{}
+		}()
+	}
+	// Initial posts: every thread submits its first op.
+	for _, t := range e.threads {
+		<-t.posted
+	}
+
+	done := 0
+	for done < len(e.threads) {
+		e.dispatch()
+		th := e.pickRunnable()
+		if th == nil {
+			panic("sim: deadlock — every live thread is parked or starved\n" + e.dump())
+		}
+		if e.execute(th) {
+			done++
+		}
+	}
+	return e.now
+}
+
+// dispatch assigns free processors to waiting threads, cheapest first.
+func (e *Engine) dispatch() {
+	for {
+		proc := -1
+		for p := range e.procUsed {
+			if !e.procUsed[p] && (proc == -1 || e.procFree[p] < e.procFree[proc]) {
+				proc = p
+			}
+		}
+		if proc == -1 {
+			return
+		}
+		var th *Thread
+		for _, t := range e.threads {
+			if t.state != tsWaiting {
+				continue
+			}
+			if th == nil || t.clock < th.clock || (t.clock == th.clock && t.id < th.id) {
+				th = t
+			}
+		}
+		if th == nil {
+			return
+		}
+		start := th.clock
+		if e.procFree[proc] > start {
+			start = e.procFree[proc]
+		}
+		th.clock = start + e.cfg.CtxSwitch
+		th.quantum = e.cfg.Quantum
+		th.proc = proc
+		th.state = tsRunning
+		e.procUsed[proc] = true
+		if th.parkWoken {
+			// Complete the Park that descheduled it: resume the
+			// program and collect its next op.
+			th.parkWoken = false
+			th.resume <- result{}
+			<-th.posted
+		}
+	}
+}
+
+// pickRunnable returns the running thread with the smallest clock.
+func (e *Engine) pickRunnable() *Thread {
+	var th *Thread
+	for _, t := range e.threads {
+		if t.state != tsRunning {
+			continue
+		}
+		if th == nil || t.clock < th.clock || (t.clock == th.clock && t.id < th.id) {
+			th = t
+		}
+	}
+	return th
+}
+
+// releaseProc frees th's processor at th's current clock.
+func (e *Engine) releaseProc(th *Thread) {
+	if th.proc >= 0 {
+		e.procFree[th.proc] = th.clock
+		e.procUsed[th.proc] = false
+		th.proc = -1
+	}
+}
+
+// accessCost returns the coherence cost of touching c from th and, for
+// writes, invalidates other caches by bumping the version.
+func (e *Engine) accessCost(th *Thread, c Cell, write bool) int64 {
+	cs := &e.cells[c]
+	cost := e.cfg.LocalCost
+	if cs.version > th.seen[c] || (write && cs.lastWriter != th.id && cs.lastWriter != -1) {
+		cost = e.cfg.RemoteCost
+	}
+	if write {
+		cs.version++
+		cs.lastWriter = th.id
+	}
+	th.seen[c] = cs.version
+	return cost
+}
+
+// execute runs th's pending op; it reports whether th exited.
+func (e *Engine) execute(th *Thread) bool {
+	o := th.pending
+	var res result
+	before := th.clock
+
+	switch o.kind {
+	case opRead:
+		th.clock += e.accessCost(th, o.cell, false)
+		res.val = e.cells[o.cell].val
+
+	case opWrite:
+		th.clock += e.accessCost(th, o.cell, true)
+		e.cells[o.cell].val = o.new
+
+	case opCAS:
+		th.clock += e.accessCost(th, o.cell, true) + e.cfg.CASExtra
+		if e.cells[o.cell].val == o.old {
+			e.cells[o.cell].val = o.new
+			res.ok = true
+		}
+
+	case opWork:
+		th.clock += o.cost
+
+	case opPark:
+		th.clock += e.cfg.ParkCost
+		if th.permit {
+			th.permit = false
+			break // returns immediately
+		}
+		e.advanceNow(th.clock)
+		e.releaseProc(th)
+		th.state = tsParked
+		th.parkWoken = false
+		return false // no resume until unparked and redispatched
+
+	case opUnpark:
+		th.clock += e.cfg.UnparkCost
+		tg := o.target
+		if tg.state == tsParked {
+			wake := th.clock + e.cfg.WakeLatency
+			if tg.clock < wake {
+				tg.clock = wake
+			}
+			tg.state = tsWaiting
+			tg.parkWoken = true
+		} else {
+			tg.permit = true
+		}
+
+	case opExit:
+		e.advanceNow(th.clock)
+		e.releaseProc(th)
+		th.state = tsDone
+		return true
+
+	default:
+		panic(fmt.Sprintf("sim: unknown op %d", o.kind))
+	}
+
+	e.advanceNow(th.clock)
+	consumed := th.clock - before
+	if consumed < 1 {
+		consumed = 1 // monotone consumption even for zero-cost ops
+	}
+	th.quantum -= consumed
+	preempt := th.quantum <= 0
+	if preempt {
+		e.releaseProc(th)
+		th.state = tsWaiting
+	}
+	th.resume <- res
+	<-th.posted
+	return false
+}
+
+func (e *Engine) advanceNow(t int64) {
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// dump renders thread states for deadlock diagnostics.
+func (e *Engine) dump() string {
+	names := map[tstate]string{tsRunning: "running", tsWaiting: "waiting", tsParked: "parked", tsDone: "done"}
+	s := ""
+	for _, t := range e.threads {
+		s += fmt.Sprintf("  thread %d: %s clock=%d permit=%v pendingOp=%d\n",
+			t.id, names[t.state], t.clock, t.permit, t.pending.kind)
+	}
+	return s
+}
+
+// --- thread-side API ---
+
+func (t *Thread) do(o op) result {
+	t.pending = o
+	t.posted <- struct{}{}
+	return <-t.resume
+}
+
+// Read returns the cell's value, charging coherence costs.
+func (t *Thread) Read(c Cell) int64 { return t.do(op{kind: opRead, cell: c}).val }
+
+// Write stores v into the cell.
+func (t *Thread) Write(c Cell, v int64) { t.do(op{kind: opWrite, cell: c, new: v}) }
+
+// CAS atomically replaces old with new, reporting success.
+func (t *Thread) CAS(c Cell, old, new int64) bool {
+	return t.do(op{kind: opCAS, cell: c, old: old, new: new}).ok
+}
+
+// Park deschedules the thread until a permit is available (LockSupport
+// semantics: an earlier Unpark is not lost).
+func (t *Thread) Park() { t.do(op{kind: opPark}) }
+
+// Unpark makes other's permit available, waking it if parked.
+func (t *Thread) Unpark(other *Thread) { t.do(op{kind: opUnpark, target: other}) }
+
+// Work charges `cycles` of local computation.
+func (t *Thread) Work(cycles int64) { t.do(op{kind: opWork, cost: cycles}) }
+
+// Clock returns the thread's current virtual time.
+func (t *Thread) Clock() int64 { return t.clock }

@@ -1,0 +1,179 @@
+package sim
+
+// Synchronization primitives built over the simulated machine. Waiter
+// lists live outside simulated memory (the lockstep engine makes that
+// safe — exactly one thread program runs at a time); every access that
+// would cause coherence traffic on real hardware goes through Cells so it
+// is charged.
+
+// spinBudget is the spin-then-park budget used by the lock and by the
+// queue algorithms' waiters, mirroring the paper's brief-spin-before-park.
+const spinBudget = 32
+
+// SpinLock is a test-and-set lock with brief spinning and park-based
+// blocking, barging on release — the model of an ordinary (unfair) mutex,
+// used by the Java 5 unfair queue and by the semaphores.
+type SpinLock struct {
+	cell    Cell
+	waiters []*Thread
+}
+
+// NewSpinLock allocates a free lock.
+func NewSpinLock(e *Engine) *SpinLock {
+	return &SpinLock{cell: e.NewCell(0)}
+}
+
+// Lock acquires the lock.
+func (l *SpinLock) Lock(t *Thread) {
+	for {
+		if t.CAS(l.cell, 0, 1) {
+			return
+		}
+		for i := 0; i < spinBudget; i++ {
+			if t.Read(l.cell) == 0 {
+				break
+			}
+		}
+		if t.CAS(l.cell, 0, 1) {
+			return
+		}
+		l.waiters = append(l.waiters, t)
+		// Last-chance CAS so we never sleep past a release that
+		// happened before we enqueued.
+		if t.CAS(l.cell, 0, 1) {
+			if !l.remove(t) {
+				// A releaser popped us concurrently and its
+				// wake-up (permit) is committed; absorb it so
+				// it cannot leak into a later park.
+				t.Park()
+			}
+			return
+		}
+		t.Park()
+	}
+}
+
+// Unlock releases the lock and wakes one waiter, which must still race
+// for the lock (barging).
+func (l *SpinLock) Unlock(t *Thread) {
+	t.Write(l.cell, 0)
+	if len(l.waiters) > 0 {
+		w := l.waiters[0]
+		l.waiters = l.waiters[1:]
+		t.Unpark(w)
+	}
+}
+
+func (l *SpinLock) remove(t *Thread) bool {
+	for i, w := range l.waiters {
+		if w == t {
+			l.waiters = append(l.waiters[:i], l.waiters[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// FairLock grants ownership in strict FIFO order with direct handoff — the
+// model of the Java 5 fair-mode entry lock whose pileups the paper blames
+// for the fair queue's collapse.
+type FairLock struct {
+	cell    Cell // 0 free, 1 held
+	waiters []*Thread
+}
+
+// NewFairLock allocates a free fair lock.
+func NewFairLock(e *Engine) *FairLock {
+	return &FairLock{cell: e.NewCell(0)}
+}
+
+// Lock acquires the lock, queueing behind all earlier arrivals.
+func (l *FairLock) Lock(t *Thread) {
+	if len(l.waiters) == 0 && t.CAS(l.cell, 0, 1) {
+		return
+	}
+	l.waiters = append(l.waiters, t)
+	// Last-chance CAS: an unlock that ran between our failed fast path
+	// and our enqueue found no waiters and freed the lock; without this
+	// we would sleep forever.
+	if t.CAS(l.cell, 0, 1) {
+		if !l.remove(t) {
+			t.Park() // a handoff already committed to us; absorb it
+		}
+		return
+	}
+	t.Park()
+	// Ownership was handed to us directly; touch the lock word as the
+	// real lock's state check would.
+	t.Read(l.cell)
+}
+
+func (l *FairLock) remove(t *Thread) bool {
+	for i, w := range l.waiters {
+		if w == t {
+			l.waiters = append(l.waiters[:i], l.waiters[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Unlock hands the lock to the longest waiter, or frees it.
+func (l *FairLock) Unlock(t *Thread) {
+	if len(l.waiters) > 0 {
+		w := l.waiters[0]
+		l.waiters = l.waiters[1:]
+		t.Unpark(w) // cell stays 1: direct handoff
+		return
+	}
+	t.Write(l.cell, 0)
+}
+
+// Locker is the shared lock surface of SpinLock and FairLock.
+type Locker interface {
+	Lock(t *Thread)
+	Unlock(t *Thread)
+}
+
+// Semaphore is a counting semaphore built, as in classic runtimes, from a
+// mutex-protected counter and waiter list. It is the substrate of the
+// simulated Hanson queue.
+type Semaphore struct {
+	lock    *SpinLock
+	count   Cell
+	waiters []*Thread
+}
+
+// NewSemaphore allocates a semaphore with the given permits.
+func NewSemaphore(e *Engine, permits int64) *Semaphore {
+	return &Semaphore{lock: NewSpinLock(e), count: e.NewCell(permits)}
+}
+
+// Acquire obtains a permit, blocking until one is available.
+func (s *Semaphore) Acquire(t *Thread) {
+	s.lock.Lock(t)
+	c := t.Read(s.count)
+	if c > 0 {
+		t.Write(s.count, c-1)
+		s.lock.Unlock(t)
+		return
+	}
+	s.waiters = append(s.waiters, t)
+	s.lock.Unlock(t)
+	t.Park() // a releaser grants the permit directly
+}
+
+// Release returns a permit, granting it directly to the oldest waiter if
+// any.
+func (s *Semaphore) Release(t *Thread) {
+	s.lock.Lock(t)
+	if len(s.waiters) > 0 {
+		w := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		s.lock.Unlock(t)
+		t.Unpark(w)
+		return
+	}
+	t.Write(s.count, t.Read(s.count)+1)
+	s.lock.Unlock(t)
+}

@@ -1,0 +1,350 @@
+package sim
+
+// Simulated synchronization skeletons of the paper's algorithms. Each
+// model performs, against the simulated machine, the same pattern of
+// shared-memory accesses and scheduling events as the real algorithm:
+// which words are CASed, which are spun on, when threads park, and who
+// unparks whom. Timeout support is omitted (Figure 3 exercises only the
+// demand operations).
+
+// Queue is a simulated synchronous queue model.
+type Queue interface {
+	Put(t *Thread, v int64)
+	Take(t *Thread) int64
+}
+
+// --- Hanson's queue: three semaphores ---
+
+type hansonQ struct {
+	item             Cell
+	syncS, send, rcv *Semaphore
+}
+
+// NewHanson builds the simulated Hanson queue (Listing 1).
+func NewHanson(e *Engine) Queue {
+	return &hansonQ{
+		item:  e.NewCell(0),
+		syncS: NewSemaphore(e, 0),
+		send:  NewSemaphore(e, 1),
+		rcv:   NewSemaphore(e, 0),
+	}
+}
+
+func (q *hansonQ) Put(t *Thread, v int64) {
+	q.send.Acquire(t)
+	t.Write(q.item, v)
+	q.rcv.Release(t)
+	q.syncS.Acquire(t)
+}
+
+func (q *hansonQ) Take(t *Thread) int64 {
+	q.rcv.Acquire(t)
+	v := t.Read(q.item)
+	q.syncS.Release(t)
+	q.send.Release(t)
+	return v
+}
+
+// --- Java 5 queue: one lock, two wait lists ---
+
+type j5node struct {
+	item   Cell
+	waiter *Thread
+}
+
+type java5Q struct {
+	lock      Locker
+	producers []*j5node
+	consumers []*j5node
+}
+
+// NewJava5 builds the simulated Java 5 queue (Listing 4): fair selects the
+// FIFO-handoff entry lock, unfair the barging spinlock.
+func NewJava5(e *Engine, fair bool) Queue {
+	var l Locker
+	if fair {
+		l = NewFairLock(e)
+	} else {
+		l = NewSpinLock(e)
+	}
+	return &java5Q{lock: l}
+}
+
+func (q *java5Q) Put(t *Thread, v int64) {
+	q.lock.Lock(t)
+	if len(q.consumers) > 0 {
+		n := q.consumers[0]
+		q.consumers = q.consumers[1:]
+		q.lock.Unlock(t)
+		t.Write(n.item, v)
+		t.Unpark(n.waiter)
+		return
+	}
+	n := &j5node{item: t.NewCell(0), waiter: t}
+	t.Write(n.item, v)
+	q.producers = append(q.producers, n)
+	q.lock.Unlock(t)
+	t.Park() // woken once a consumer has taken the item
+}
+
+func (q *java5Q) Take(t *Thread) int64 {
+	q.lock.Lock(t)
+	if len(q.producers) > 0 {
+		n := q.producers[0]
+		q.producers = q.producers[1:]
+		q.lock.Unlock(t)
+		v := t.Read(n.item)
+		t.Unpark(n.waiter)
+		return v
+	}
+	n := &j5node{item: t.NewCell(0), waiter: t}
+	q.consumers = append(q.consumers, n)
+	q.lock.Unlock(t)
+	t.Park()
+	return t.Read(n.item)
+}
+
+// --- the new algorithms: dual stack and dual queue ---
+
+// node indices are stored in cells as idx+1 (0 = nil).
+
+type dsNode struct {
+	mode   int64 // 0 request, 1 data, |2 fulfilling
+	item   Cell
+	next   Cell
+	match  Cell // 0 none, else fulfiller idx+1
+	waiter *Thread
+}
+
+type dualStackQ struct {
+	head  Cell
+	nodes []*dsNode
+}
+
+// NewDualStack builds the simulated synchronous dual stack (Listing 6,
+// without the timeout branches).
+func NewDualStack(e *Engine) Queue {
+	return &dualStackQ{head: e.NewCell(0)}
+}
+
+func (q *dualStackQ) alloc(t *Thread, mode, v int64) int64 {
+	n := &dsNode{mode: mode, item: t.NewCell(v), next: t.NewCell(0), match: t.NewCell(0)}
+	q.nodes = append(q.nodes, n)
+	return int64(len(q.nodes)) // idx+1
+}
+
+func (q *dualStackQ) node(ref int64) *dsNode { return q.nodes[ref-1] }
+
+func (q *dualStackQ) Put(t *Thread, v int64) { q.transfer(t, 1, v) }
+func (q *dualStackQ) Take(t *Thread) int64   { return q.transfer(t, 0, 0) }
+
+func (q *dualStackQ) transfer(t *Thread, mode, v int64) int64 {
+	var mine int64
+	for {
+		h := t.Read(q.head)
+		switch {
+		case h == 0 || q.node(h).mode == mode:
+			if mine == 0 {
+				mine = q.alloc(t, mode, v)
+			}
+			me := q.node(mine)
+			t.Write(me.next, h)
+			if !t.CAS(q.head, h, mine) {
+				continue
+			}
+			m := q.await(t, me)
+			// Help pop the annihilated pair.
+			if h2 := t.Read(q.head); h2 != 0 && t.Read(q.node(h2).next) == mine {
+				t.CAS(q.head, h2, t.Read(me.next))
+			}
+			if mode == 0 {
+				return t.Read(q.node(m).item)
+			}
+			return 0
+
+		case q.node(h).mode&2 == 0:
+			// Complementary: push a fulfilling node.
+			f := q.alloc(t, mode|2, v)
+			fn := q.node(f)
+			t.Write(fn.next, h)
+			if !t.CAS(q.head, h, f) {
+				continue
+			}
+			for {
+				m := t.Read(fn.next)
+				if m == 0 {
+					t.CAS(q.head, f, 0)
+					break
+				}
+				mn := t.Read(q.node(m).next)
+				won := t.CAS(q.node(m).match, 0, f)
+				if won || t.Read(q.node(m).match) == f {
+					// Matched — by us, or by a helper on our
+					// behalf (tryMatch's second clause).
+					if won {
+						if w := q.node(m).waiter; w != nil {
+							t.Unpark(w)
+						}
+					}
+					t.CAS(q.head, f, mn)
+					if mode == 0 {
+						return t.Read(q.node(m).item)
+					}
+					return 0
+				}
+				t.Write(fn.next, mn)
+			}
+
+		default:
+			// Help the fulfilling node on top.
+			fn := q.node(h)
+			m := t.Read(fn.next)
+			if m == 0 {
+				t.CAS(q.head, h, 0)
+				continue
+			}
+			mn := t.Read(q.node(m).next)
+			won := t.CAS(q.node(m).match, 0, h)
+			switch {
+			case won:
+				if w := q.node(m).waiter; w != nil {
+					t.Unpark(w)
+				}
+				t.CAS(q.head, h, mn)
+			case t.Read(q.node(m).match) == h:
+				// Another helper (or the fulfiller) already
+				// completed the match: just help pop. Touching
+				// fn.next here instead would make the fulfiller
+				// skip past its true matchee and pair twice.
+				t.CAS(q.head, h, mn)
+			default:
+				// m was canceled (unreachable without timeout
+				// support): unlink it for the fulfiller.
+				t.Write(fn.next, mn)
+			}
+		}
+	}
+}
+
+// await spins briefly on the node's match word, then parks; it returns the
+// match reference.
+func (q *dualStackQ) await(t *Thread, me *dsNode) int64 {
+	for i := 0; i < spinBudget; i++ {
+		if m := t.Read(me.match); m != 0 {
+			return m
+		}
+	}
+	me.waiter = t
+	for {
+		if m := t.Read(me.match); m != 0 {
+			return m
+		}
+		t.Park()
+	}
+}
+
+type dqNode struct {
+	isData bool
+	item   Cell
+	next   Cell
+	waiter *Thread
+}
+
+type dualQueueQ struct {
+	head, tail Cell
+	nodes      []*dqNode
+}
+
+// NewDualQueue builds the simulated synchronous dual queue (Listing 5,
+// without the timeout branches).
+func NewDualQueue(e *Engine) Queue {
+	q := &dualQueueQ{head: e.NewCell(0), tail: e.NewCell(0)}
+	dummy := &dqNode{item: e.NewCell(0), next: e.NewCell(0)}
+	q.nodes = append(q.nodes, dummy)
+	e.cells[q.head].val = 1
+	e.cells[q.tail].val = 1
+	return q
+}
+
+func (q *dualQueueQ) alloc(t *Thread, isData bool, item int64) int64 {
+	n := &dqNode{isData: isData, item: t.NewCell(item), next: t.NewCell(0)}
+	q.nodes = append(q.nodes, n)
+	return int64(len(q.nodes))
+}
+
+func (q *dualQueueQ) node(ref int64) *dqNode { return q.nodes[ref-1] }
+
+// Items: producers deposit v+1 (so 0 means "empty"); consumers CAS item to
+// 0 to claim, producers CAS 0 to v+1 to fulfill requests.
+func (q *dualQueueQ) Put(t *Thread, v int64) { q.transfer(t, true, v+1) }
+func (q *dualQueueQ) Take(t *Thread) int64   { return q.transfer(t, false, 0) - 1 }
+
+func (q *dualQueueQ) transfer(t *Thread, isData bool, e int64) int64 {
+	var mine int64
+	for {
+		tl := t.Read(q.tail)
+		hd := t.Read(q.head)
+		tn := q.node(tl)
+
+		if hd == tl || tn.isData == isData {
+			next := t.Read(tn.next)
+			if next != 0 {
+				t.CAS(q.tail, tl, next)
+				continue
+			}
+			if mine == 0 {
+				mine = q.alloc(t, isData, e)
+			}
+			if !t.CAS(tn.next, 0, mine) {
+				continue
+			}
+			t.CAS(q.tail, tl, mine)
+			me := q.node(mine)
+			x := q.await(t, me, e)
+			// Help dequeue ourselves.
+			if h2 := t.Read(q.head); t.Read(q.node(h2).next) == mine {
+				t.CAS(q.head, h2, mine)
+			}
+			if x != 0 {
+				return x // request fulfilled with a datum
+			}
+			return e // datum taken
+		}
+
+		m := t.Read(q.node(hd).next)
+		if m == 0 {
+			continue
+		}
+		mn := q.node(m)
+		x := t.Read(mn.item)
+		if isData == (x != 0) || !t.CAS(mn.item, x, e) {
+			t.CAS(q.head, hd, m)
+			continue
+		}
+		t.CAS(q.head, hd, m)
+		if w := mn.waiter; w != nil {
+			t.Unpark(w)
+		}
+		if x != 0 {
+			return x
+		}
+		return e
+	}
+}
+
+// await spins briefly on the node's item word, then parks; it returns the
+// new item value (nonzero for fulfilled requests, zero for taken data).
+func (q *dualQueueQ) await(t *Thread, me *dqNode, e int64) int64 {
+	for i := 0; i < spinBudget; i++ {
+		if x := t.Read(me.item); x != e {
+			return x
+		}
+	}
+	me.waiter = t
+	for {
+		if x := t.Read(me.item); x != e {
+			return x
+		}
+		t.Park()
+	}
+}

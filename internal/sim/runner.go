@@ -1,0 +1,218 @@
+package sim
+
+import (
+	"fmt"
+
+	"synchq/internal/stats"
+)
+
+// Model names a simulated algorithm, in the paper's legend order.
+type Model int
+
+const (
+	// ModelJava5Unfair is the Java 5 queue under a barging lock.
+	ModelJava5Unfair Model = iota
+	// ModelJava5Fair is the Java 5 queue under a FIFO-handoff lock.
+	ModelJava5Fair
+	// ModelHanson is the three-semaphore queue.
+	ModelHanson
+	// ModelDualStack is the paper's unfair algorithm.
+	ModelDualStack
+	// ModelDualQueue is the paper's fair algorithm.
+	ModelDualQueue
+)
+
+// ModelNames matches the labels used by the live benchmarks.
+var ModelNames = map[Model]string{
+	ModelJava5Unfair: "SynchronousQueue",
+	ModelJava5Fair:   "SynchronousQueue (fair)",
+	ModelHanson:      "HansonSQ",
+	ModelDualStack:   "New SynchQueue",
+	ModelDualQueue:   "New SynchQueue (fair)",
+}
+
+// Models lists every model in legend order.
+var Models = []Model{ModelJava5Unfair, ModelJava5Fair, ModelHanson, ModelDualStack, ModelDualQueue}
+
+func newModel(e *Engine, m Model) Queue {
+	switch m {
+	case ModelJava5Unfair:
+		return NewJava5(e, false)
+	case ModelJava5Fair:
+		return NewJava5(e, true)
+	case ModelHanson:
+		return NewHanson(e)
+	case ModelDualStack:
+		return NewDualStack(e)
+	case ModelDualQueue:
+		return NewDualQueue(e)
+	default:
+		panic("sim: unknown model")
+	}
+}
+
+// HandoffResult is one simulated measurement.
+type HandoffResult struct {
+	Transfers int64
+	// Cycles is the virtual time at which the last thread finished.
+	Cycles int64
+	// Delivered is the sum of delivered values, for conservation checks.
+	Delivered int64
+}
+
+// CyclesPerTransfer is the simulated analogue of ns/transfer.
+func (r HandoffResult) CyclesPerTransfer() float64 {
+	if r.Transfers == 0 {
+		return 0
+	}
+	return float64(r.Cycles) / float64(r.Transfers)
+}
+
+// RunHandoff simulates `producers` producer threads and `consumers`
+// consumer threads transferring exactly `transfers` values through the
+// model on the configured machine, including a small per-transfer local
+// work charge so threads do not lockstep artificially.
+func RunHandoff(cfg Config, m Model, producers, consumers int, transfers int64) HandoffResult {
+	e := New(cfg)
+	q := newModel(e, m)
+
+	quota := func(total int64, k, i int) int64 {
+		n := total / int64(k)
+		if int64(i) < total%int64(k) {
+			n++
+		}
+		return n
+	}
+
+	var delivered int64 // written only by consumer turns (lockstep-safe)
+	progs := make([]func(*Thread), 0, producers+consumers)
+	for i := 0; i < producers; i++ {
+		n := quota(transfers, producers, i)
+		id := int64(i)
+		progs = append(progs, func(t *Thread) {
+			for j := int64(0); j < n; j++ {
+				t.Work(20) // produce the element
+				q.Put(t, id<<32|j)
+			}
+		})
+	}
+	for i := 0; i < consumers; i++ {
+		n := quota(transfers, consumers, i)
+		progs = append(progs, func(t *Thread) {
+			for j := int64(0); j < n; j++ {
+				v := q.Take(t)
+				t.Work(20) // consume the element
+				delivered += v
+			}
+		})
+	}
+
+	cycles := e.Run(progs)
+	return HandoffResult{Transfers: transfers, Cycles: cycles, Delivered: delivered}
+}
+
+// Figure3 regenerates the paper's Figure 3 on the simulated
+// multiprocessor: cycles/transfer for N producer/consumer pairs, one
+// series per algorithm.
+func Figure3(cfg Config, levels []int, transfers int64) *stats.Table {
+	if len(levels) == 0 {
+		levels = []int{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64}
+	}
+	if transfers == 0 {
+		transfers = 2000
+	}
+	cols := make([]string, len(Models))
+	for i, m := range Models {
+		cols[i] = ModelNames[m]
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("Simulated Figure 3: %d-processor machine", cfg.Procs),
+		"pairs", "cycles/transfer", cols)
+	for _, level := range levels {
+		for _, m := range Models {
+			r := RunHandoff(cfg, m, level, level, transfers)
+			t.Set(fmt.Sprint(level), ModelNames[m], r.CyclesPerTransfer())
+		}
+	}
+	return t
+}
+
+// Figure4 regenerates the paper's Figure 4 (1 producer : N consumers) on
+// the simulated multiprocessor.
+func Figure4(cfg Config, levels []int, transfers int64) *stats.Table {
+	if len(levels) == 0 {
+		levels = []int{1, 2, 3, 5, 8, 12, 18, 27, 41, 62}
+	}
+	if transfers == 0 {
+		transfers = 2000
+	}
+	cols := make([]string, len(Models))
+	for i, m := range Models {
+		cols[i] = ModelNames[m]
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("Simulated Figure 4: 1 producer : N consumers, %d-processor machine", cfg.Procs),
+		"consumers", "cycles/transfer", cols)
+	for _, level := range levels {
+		for _, m := range Models {
+			r := RunHandoff(cfg, m, 1, level, transfers)
+			t.Set(fmt.Sprint(level), ModelNames[m], r.CyclesPerTransfer())
+		}
+	}
+	return t
+}
+
+// Figure5 regenerates the paper's Figure 5 (N producers : 1 consumer) on
+// the simulated multiprocessor.
+func Figure5(cfg Config, levels []int, transfers int64) *stats.Table {
+	if len(levels) == 0 {
+		levels = []int{1, 2, 3, 5, 8, 12, 18, 27, 41, 62}
+	}
+	if transfers == 0 {
+		transfers = 2000
+	}
+	cols := make([]string, len(Models))
+	for i, m := range Models {
+		cols[i] = ModelNames[m]
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("Simulated Figure 5: N producers : 1 consumer, %d-processor machine", cfg.Procs),
+		"producers", "cycles/transfer", cols)
+	for _, level := range levels {
+		for _, m := range Models {
+			r := RunHandoff(cfg, m, level, 1, transfers)
+			t.Set(fmt.Sprint(level), ModelNames[m], r.CyclesPerTransfer())
+		}
+	}
+	return t
+}
+
+// ProcsSweep holds the workload shape fixed and sweeps the number of
+// simulated processors, exposing where each algorithm's contention and
+// blocking costs bite as real parallelism grows.
+func ProcsSweep(levels []int, pairs int, transfers int64) *stats.Table {
+	if len(levels) == 0 {
+		levels = []int{1, 2, 4, 8, 16, 32}
+	}
+	if pairs <= 0 {
+		pairs = 16
+	}
+	if transfers == 0 {
+		transfers = 2000
+	}
+	cols := make([]string, len(Models))
+	for i, m := range Models {
+		cols[i] = ModelNames[m]
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("Simulated processor sweep: %d pairs", pairs),
+		"procs", "cycles/transfer", cols)
+	for _, procs := range levels {
+		cfg := DefaultConfig(procs)
+		for _, m := range Models {
+			r := RunHandoff(cfg, m, pairs, pairs, transfers)
+			t.Set(fmt.Sprint(procs), ModelNames[m], r.CyclesPerTransfer())
+		}
+	}
+	return t
+}

@@ -1,0 +1,248 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestEngineSequentialCosts(t *testing.T) {
+	cfg := DefaultConfig(1)
+	e := New(cfg)
+	c := e.NewCell(7)
+	var got int64
+	cycles := e.Run([]func(*Thread){
+		func(th *Thread) {
+			got = th.Read(c)
+			th.Write(c, 9)
+			if th.Read(c) != 9 {
+				t.Error("write not visible")
+			}
+		},
+	})
+	if got != 7 {
+		t.Fatalf("Read = %d, want 7", got)
+	}
+	// ctx switch + first read (remote: written by "nobody" counts local
+	// — lastWriter -1) + write + read.
+	if cycles <= cfg.CtxSwitch {
+		t.Fatalf("cycles = %d, suspiciously small", cycles)
+	}
+}
+
+func TestCASSemantics(t *testing.T) {
+	e := New(DefaultConfig(1))
+	c := e.NewCell(1)
+	e.Run([]func(*Thread){
+		func(th *Thread) {
+			if th.CAS(c, 2, 3) {
+				t.Error("CAS succeeded with wrong expected value")
+			}
+			if !th.CAS(c, 1, 2) {
+				t.Error("CAS failed with right expected value")
+			}
+			if th.Read(c) != 2 {
+				t.Error("CAS did not store")
+			}
+		},
+	})
+}
+
+func TestRemoteAccessCostsMore(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.Quantum = 1 << 40 // no preemption: isolate the memory costs
+	e := New(cfg)
+	c := e.NewCell(0)
+	var localCost, remoteCost int64
+	e.Run([]func(*Thread){
+		func(th *Thread) {
+			th.Write(c, 1) // take ownership
+			before := th.Clock()
+			th.Read(c) // cached
+			localCost = th.Clock() - before
+			th.Work(100000) // let the other thread write
+			before = th.Clock()
+			th.Read(c) // invalidated by thread 1
+			remoteCost = th.Clock() - before
+		},
+		func(th *Thread) {
+			th.Work(10000)
+			th.Write(c, 2)
+		},
+	})
+	if localCost != cfg.LocalCost {
+		t.Fatalf("cached read cost = %d, want %d", localCost, cfg.LocalCost)
+	}
+	if remoteCost != cfg.RemoteCost {
+		t.Fatalf("invalidated read cost = %d, want %d", remoteCost, cfg.RemoteCost)
+	}
+}
+
+func TestParkUnparkPermit(t *testing.T) {
+	e := New(DefaultConfig(2))
+	order := make([]int, 0, 4)
+	e.Run([]func(*Thread){
+		func(th *Thread) {
+			th.Work(1) // first op: engine state is now safe to read
+			order = append(order, 1)
+			th.Park() // blocks until thread 1 unparks
+			order = append(order, 3)
+		},
+		func(th *Thread) {
+			th.Work(50000) // ensure thread 0 parks first
+			order = append(order, 2)
+			th.Unpark(th.eng.Thread(0))
+		},
+	})
+	want := []int{1, 2, 3}
+	if len(order) != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestUnparkBeforeParkIsPermit(t *testing.T) {
+	e := New(DefaultConfig(2))
+	done := false
+	e.Run([]func(*Thread){
+		func(th *Thread) {
+			th.Work(50000) // let thread 1 unpark first
+			th.Park()      // must not block: permit stored
+			done = true
+		},
+		func(th *Thread) {
+			th.Work(1)
+			th.Unpark(th.eng.Thread(0))
+		},
+	})
+	if !done {
+		t.Fatal("park with stored permit blocked forever")
+	}
+}
+
+func TestProcessorContentionSerializes(t *testing.T) {
+	// Two compute-bound threads on one processor take ~2x the time of
+	// the same work on two processors.
+	work := func(th *Thread) { th.Work(100000) }
+	one := New(DefaultConfig(1)).Run([]func(*Thread){work, work})
+	two := New(DefaultConfig(2)).Run([]func(*Thread){work, work})
+	if one < two {
+		t.Fatalf("1-proc run (%d) faster than 2-proc run (%d)", one, two)
+	}
+	if float64(one) < 1.8*float64(two) {
+		t.Fatalf("1-proc run (%d) not ~2x the 2-proc run (%d)", one, two)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, m := range Models {
+		a := RunHandoff(DefaultConfig(4), m, 3, 3, 300)
+		b := RunHandoff(DefaultConfig(4), m, 3, 3, 300)
+		if a != b {
+			t.Fatalf("%s: nondeterministic: %+v vs %+v", ModelNames[m], a, b)
+		}
+	}
+}
+
+func TestAllModelsConserveValues(t *testing.T) {
+	// The sum of delivered values must equal the sum of produced values
+	// for every model and shape.
+	shapes := [][2]int{{1, 1}, {2, 2}, {4, 4}, {1, 4}, {4, 1}}
+	for _, m := range Models {
+		for _, sh := range shapes {
+			const transfers = 400
+			r := RunHandoff(DefaultConfig(4), m, sh[0], sh[1], transfers)
+			// Expected sum: producers emit id<<32|j for their quotas.
+			var want int64
+			quota := func(total int64, k, i int) int64 {
+				n := total / int64(k)
+				if int64(i) < total%int64(k) {
+					n++
+				}
+				return n
+			}
+			for p := 0; p < sh[0]; p++ {
+				n := quota(transfers, sh[0], p)
+				want += int64(p) << 32 * n
+				want += n * (n - 1) / 2
+			}
+			if r.Delivered != want {
+				t.Fatalf("%s %v: delivered sum %d, want %d (lost or duplicated values)",
+					ModelNames[m], sh, r.Delivered, want)
+			}
+		}
+	}
+}
+
+func TestSimulatedFigure3Ordering(t *testing.T) {
+	// On a 16-processor simulated machine at high concurrency, the
+	// paper's ordering must hold: the new algorithms beat Hanson and the
+	// Java 5 fair queue by a wide margin.
+	cfg := DefaultConfig(16)
+	const pairs, transfers = 16, 1500
+	res := make(map[Model]float64)
+	for _, m := range Models {
+		res[m] = RunHandoff(cfg, m, pairs, pairs, transfers).CyclesPerTransfer()
+	}
+	if res[ModelDualStack] >= res[ModelHanson] {
+		t.Errorf("dual stack (%.0f) not faster than Hanson (%.0f)", res[ModelDualStack], res[ModelHanson])
+	}
+	if res[ModelDualQueue] >= res[ModelJava5Fair] {
+		t.Errorf("dual queue (%.0f) not faster than Java5 fair (%.0f)", res[ModelDualQueue], res[ModelJava5Fair])
+	}
+	if res[ModelDualStack] >= res[ModelJava5Fair] {
+		t.Errorf("dual stack (%.0f) not faster than Java5 fair (%.0f)", res[ModelDualStack], res[ModelJava5Fair])
+	}
+	t.Logf("cycles/transfer at %d pairs on %d procs:", pairs, cfg.Procs)
+	for _, m := range Models {
+		t.Logf("  %-26s %8.0f", ModelNames[m], res[m])
+	}
+}
+
+func TestSimulatedFigureTablesSmoke(t *testing.T) {
+	cfg := DefaultConfig(4)
+	for _, tab := range []interface{ Render() string }{
+		Figure3(cfg, []int{1, 2}, 200),
+		Figure4(cfg, []int{1, 2}, 200),
+		Figure5(cfg, []int{1, 2}, 200),
+		ProcsSweep([]int{1, 2}, 2, 200),
+	} {
+		out := tab.Render()
+		if out == "" || !containsAll(out, "SynchronousQueue", "New SynchQueue") {
+			t.Fatalf("table missing series:\n%s", out)
+		}
+	}
+}
+
+func containsAll(s string, subs ...string) bool {
+	for _, sub := range subs {
+		found := false
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSingletonShapesComplete(t *testing.T) {
+	// 1:N and N:1 must terminate for every model (regression for the
+	// helping paths under extreme asymmetry).
+	for _, m := range Models {
+		r := RunHandoff(DefaultConfig(8), m, 1, 8, 400)
+		if r.Transfers != 400 {
+			t.Fatalf("%s 1:8: %+v", ModelNames[m], r)
+		}
+		r = RunHandoff(DefaultConfig(8), m, 8, 1, 400)
+		if r.Transfers != 400 {
+			t.Fatalf("%s 8:1: %+v", ModelNames[m], r)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package spin
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBudgetsRespectPlatform(t *testing.T) {
+	timed, untimed := TimedSpins(), UntimedSpins()
+	if Multicore() {
+		if timed != MaxTimedSpins || untimed != MaxUntimedSpins {
+			t.Fatalf("multicore budgets = (%d,%d), want (%d,%d)",
+				timed, untimed, MaxTimedSpins, MaxUntimedSpins)
+		}
+	} else {
+		if timed != 0 || untimed != 0 {
+			t.Fatalf("uniprocessor budgets = (%d,%d), want (0,0)", timed, untimed)
+		}
+	}
+	if MaxUntimedSpins <= MaxTimedSpins {
+		t.Fatal("untimed spin budget should exceed timed budget")
+	}
+}
+
+func TestPauseDoesNotBlock(t *testing.T) {
+	// Pause must always return promptly, including the yield iterations.
+	for i := 0; i < 100; i++ {
+		Pause(i)
+	}
+}
+
+func TestBackoffGrowsAndResets(t *testing.T) {
+	var b Backoff
+	for i := 0; i < 12; i++ {
+		b.Wait() // must never block indefinitely
+	}
+	if b.n == 0 {
+		t.Fatal("backoff never grew")
+	}
+	b.Reset()
+	if b.n != 0 {
+		t.Fatalf("Reset left n=%d", b.n)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Add(-2)
+	if c.Load() != 3 {
+		t.Fatalf("Load = %d, want 3", c.Load())
+	}
+	c.Store(10)
+	if c.Load() != 10 {
+		t.Fatalf("Load = %d, want 10", c.Load())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	const workers, rounds = 8, 10000
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < rounds; j++ {
+				c.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Load() != workers*rounds {
+		t.Fatalf("Load = %d, want %d", c.Load(), workers*rounds)
+	}
+}

@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Chart renders the table as a grouped horizontal bar chart — an ASCII
+// stand-in for the paper's line plots. Each sweep level becomes a group;
+// within a group there is one bar per series, scaled to the global
+// maximum, so both the per-level ordering and the cross-level growth are
+// visible at a glance.
+func (t *Table) Chart(width int) string {
+	if width < 10 {
+		width = 60
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s (%s)\n", t.Title, t.YLabel)
+	}
+
+	var max float64
+	for _, r := range t.rows {
+		for j := range t.Columns {
+			if r.set[j] && r.cells[j] > max {
+				max = r.cells[j]
+			}
+		}
+	}
+	if max <= 0 {
+		return b.String()
+	}
+
+	nameW := 0
+	for _, c := range t.Columns {
+		if len(c) > nameW {
+			nameW = len(c)
+		}
+	}
+
+	for _, r := range t.rows {
+		fmt.Fprintf(&b, "%s = %s\n", t.XLabel, r.x)
+		for j, c := range t.Columns {
+			if !r.set[j] {
+				continue
+			}
+			n := int(r.cells[j] / max * float64(width))
+			if n < 1 && r.cells[j] > 0 {
+				n = 1
+			}
+			fmt.Fprintf(&b, "  %-*s %s %s\n",
+				nameW, c, strings.Repeat("█", n), formatCell(r.cells[j]))
+		}
+	}
+	return b.String()
+}
+
+// SpeedupTable derives a new table expressing every series as a speedup
+// relative to the named baseline column (baseline ns / series ns), the
+// form in which the paper states its headline results ("outperforms ...
+// by a factor of three"). Cells where either value is missing are left
+// unset.
+func (t *Table) SpeedupTable(baseline string) *Table {
+	bi := -1
+	for i, c := range t.Columns {
+		if c == baseline {
+			bi = i
+			break
+		}
+	}
+	if bi < 0 {
+		panic(fmt.Sprintf("stats: unknown baseline column %q", baseline))
+	}
+	var cols []string
+	for i, c := range t.Columns {
+		if i != bi {
+			cols = append(cols, c)
+		}
+	}
+	out := NewTable(t.Title+" — speedup vs "+baseline, t.XLabel, "x", cols)
+	for _, r := range t.rows {
+		if !r.set[bi] || r.cells[bi] == 0 {
+			continue
+		}
+		for j, c := range t.Columns {
+			if j == bi || !r.set[j] || r.cells[j] == 0 {
+				continue
+			}
+			out.Set(r.x, c, r.cells[bi]/r.cells[j])
+		}
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func chartFixture() *Table {
+	tb := NewTable("Fig", "pairs", "ns", []string{"slow", "fast"})
+	tb.Set("1", "slow", 1000)
+	tb.Set("1", "fast", 250)
+	tb.Set("2", "slow", 2000)
+	tb.Set("2", "fast", 500)
+	return tb
+}
+
+func TestChartRendersGroupsAndBars(t *testing.T) {
+	out := chartFixture().Chart(40)
+	if !strings.Contains(out, "pairs = 1") || !strings.Contains(out, "pairs = 2") {
+		t.Fatalf("chart missing groups:\n%s", out)
+	}
+	if !strings.Contains(out, "█") {
+		t.Fatalf("chart drew no bars:\n%s", out)
+	}
+	// The global max (2000) must own the longest bar.
+	lines := strings.Split(out, "\n")
+	longest, longestLine := 0, ""
+	for _, l := range lines {
+		if n := strings.Count(l, "█"); n > longest {
+			longest = n
+			longestLine = l
+		}
+	}
+	if !strings.Contains(longestLine, "slow") || !strings.Contains(longestLine, "2000") {
+		t.Fatalf("longest bar is not the global max:\n%s", out)
+	}
+}
+
+func TestChartEmptyTable(t *testing.T) {
+	tb := NewTable("E", "x", "ns", []string{"a"})
+	if out := tb.Chart(40); strings.Contains(out, "█") {
+		t.Fatalf("empty table drew bars:\n%s", out)
+	}
+}
+
+func TestSpeedupTable(t *testing.T) {
+	sp := chartFixture().SpeedupTable("slow")
+	out := sp.Render()
+	// fast is 4x the slow baseline on both rows.
+	if !strings.Contains(out, "4.0") {
+		t.Fatalf("speedup not computed:\n%s", out)
+	}
+	if strings.Contains(out, "slow") && !strings.Contains(out, "vs slow") {
+		t.Fatalf("baseline column should be dropped:\n%s", out)
+	}
+}
+
+func TestSpeedupTableUnknownBaselinePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown baseline did not panic")
+		}
+	}()
+	chartFixture().SpeedupTable("nope")
+}

@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table accumulates a benchmark result grid — one row per sweep level, one
+// column per series (algorithm) — and renders it as aligned text or CSV,
+// mirroring the figures in the paper's evaluation section.
+type Table struct {
+	Title    string
+	XLabel   string // name of the sweep variable (e.g. "pairs")
+	YLabel   string // unit of the cells (e.g. "ns/transfer")
+	Columns  []string
+	rows     []row
+	rowIndex map[string]int
+}
+
+type row struct {
+	x     string
+	cells []float64
+	set   []bool
+}
+
+// NewTable returns a table with the given series columns.
+func NewTable(title, xlabel, ylabel string, columns []string) *Table {
+	return &Table{
+		Title:    title,
+		XLabel:   xlabel,
+		YLabel:   ylabel,
+		Columns:  append([]string(nil), columns...),
+		rowIndex: make(map[string]int),
+	}
+}
+
+// Set records the cell for sweep level x and series col.
+func (t *Table) Set(x string, col string, v float64) {
+	ci := -1
+	for i, c := range t.Columns {
+		if c == col {
+			ci = i
+			break
+		}
+	}
+	if ci < 0 {
+		panic(fmt.Sprintf("stats: unknown column %q", col))
+	}
+	ri, ok := t.rowIndex[x]
+	if !ok {
+		ri = len(t.rows)
+		t.rowIndex[x] = ri
+		t.rows = append(t.rows, row{
+			x:     x,
+			cells: make([]float64, len(t.Columns)),
+			set:   make([]bool, len(t.Columns)),
+		})
+	}
+	t.rows[ri].cells[ci] = v
+	t.rows[ri].set[ci] = true
+}
+
+// Render draws the table as aligned plain text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s (%s)\n", t.Title, t.YLabel)
+	}
+	widths := make([]int, len(t.Columns)+1)
+	widths[0] = len(t.XLabel)
+	for _, r := range t.rows {
+		if len(r.x) > widths[0] {
+			widths[0] = len(r.x)
+		}
+	}
+	cells := make([][]string, len(t.rows))
+	for i, r := range t.rows {
+		cells[i] = make([]string, len(t.Columns))
+		for j := range t.Columns {
+			if r.set[j] {
+				cells[i][j] = formatCell(r.cells[j])
+			} else {
+				cells[i][j] = "-"
+			}
+		}
+	}
+	for j, c := range t.Columns {
+		widths[j+1] = len(c)
+		for i := range cells {
+			if len(cells[i][j]) > widths[j+1] {
+				widths[j+1] = len(cells[i][j])
+			}
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", widths[0], t.XLabel)
+	for j, c := range t.Columns {
+		fmt.Fprintf(&b, "  %*s", widths[j+1], c)
+	}
+	b.WriteByte('\n')
+	for i, r := range t.rows {
+		fmt.Fprintf(&b, "%-*s", widths[0], r.x)
+		for j := range t.Columns {
+			fmt.Fprintf(&b, "  %*s", widths[j+1], cells[i][j])
+		}
+		_ = i
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// formatCell prints large values without decimals, small ones with one.
+func formatCell(v float64) string {
+	if v >= 100 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.1f", v)
+}
+
+// CSV renders the table as comma-separated values with a header row.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(csvEscape(t.XLabel))
+	for _, c := range t.Columns {
+		b.WriteByte(',')
+		b.WriteString(csvEscape(c))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		b.WriteString(csvEscape(r.x))
+		for j := range t.Columns {
+			b.WriteByte(',')
+			if r.set[j] {
+				fmt.Fprintf(&b, "%g", r.cells[j])
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

@@ -1,0 +1,38 @@
+package treiber
+
+import (
+	"sync"
+	"testing"
+)
+
+// Sequential push/pop round trip.
+func BenchmarkSequentialRoundTrip(b *testing.B) {
+	var s Stack[int]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Push(i)
+		s.Pop()
+	}
+}
+
+// Concurrent push/pop storm on one head word — the contention profile the
+// synchronous dual stack inherits and that elimination (internal/exchanger)
+// is designed to relieve.
+func BenchmarkConcurrentPushPop(b *testing.B) {
+	var s Stack[int]
+	var wg sync.WaitGroup
+	const workers = 4
+	per := b.N / workers
+	b.ResetTimer()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				s.Push(i)
+				s.Pop()
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,96 @@
+// Package treiber implements Treiber's lock-free stack (IBM RJ 5118, 1986),
+// the classic nonblocking LIFO structure from which the paper's synchronous
+// dual stack is derived.
+//
+// The stack is a singly linked list manipulated only through CAS on the head
+// pointer. In Go, node reuse (the ABA hazard of the original algorithm) is
+// rendered safe by garbage collection: a node can never be recycled while
+// any thread still holds a reference to it.
+package treiber
+
+import "sync/atomic"
+
+type node[T any] struct {
+	value T
+	next  *node[T]
+}
+
+// Stack is a lock-free multi-producer multi-consumer LIFO stack. The zero
+// value is an empty stack ready to use. A Stack must not be copied after
+// first use.
+type Stack[T any] struct {
+	head atomic.Pointer[node[T]]
+}
+
+// Push adds v to the top of the stack.
+func (s *Stack[T]) Push(v T) {
+	n := &node[T]{value: v}
+	for {
+		h := s.head.Load()
+		n.next = h
+		if s.head.CompareAndSwap(h, n) {
+			return
+		}
+	}
+}
+
+// Pop removes and returns the value on top of the stack. The second result
+// is false if the stack was observed empty.
+func (s *Stack[T]) Pop() (T, bool) {
+	var zero T
+	for {
+		h := s.head.Load()
+		if h == nil {
+			return zero, false
+		}
+		if s.head.CompareAndSwap(h, h.next) {
+			return h.value, true
+		}
+	}
+}
+
+// TryPush makes a single CAS attempt to add v, reporting success. A false
+// return means the head moved underneath us — contention — and is the
+// signal an elimination-backoff wrapper uses to divert to its arena.
+func (s *Stack[T]) TryPush(v T) bool {
+	h := s.head.Load()
+	return s.head.CompareAndSwap(h, &node[T]{value: v, next: h})
+}
+
+// TryPop makes a single CAS attempt to remove the top value. ok reports
+// success; when ok is false, contended distinguishes a lost race (true)
+// from an empty stack (false).
+func (s *Stack[T]) TryPop() (v T, ok, contended bool) {
+	h := s.head.Load()
+	if h == nil {
+		var zero T
+		return zero, false, false
+	}
+	if s.head.CompareAndSwap(h, h.next) {
+		return h.value, true, false
+	}
+	var zero T
+	return zero, false, true
+}
+
+// Peek returns the value on top of the stack without removing it.
+func (s *Stack[T]) Peek() (T, bool) {
+	var zero T
+	h := s.head.Load()
+	if h == nil {
+		return zero, false
+	}
+	return h.value, true
+}
+
+// Empty reports whether the stack was observed empty.
+func (s *Stack[T]) Empty() bool { return s.head.Load() == nil }
+
+// Len counts the elements by walking the list. Linear time; a snapshot only.
+func (s *Stack[T]) Len() int {
+	n := 0
+	for cur := s.head.Load(); cur != nil; cur = cur.next {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,165 @@
+package treiber
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestLIFOOrder(t *testing.T) {
+	var s Stack[int]
+	for i := 0; i < 100; i++ {
+		s.Push(i)
+	}
+	for i := 99; i >= 0; i-- {
+		v, ok := s.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop = (%d,%v), want (%d,true)", v, ok, i)
+		}
+	}
+	if _, ok := s.Pop(); ok {
+		t.Fatal("Pop succeeded on empty stack")
+	}
+}
+
+func TestPeekAndLen(t *testing.T) {
+	var s Stack[string]
+	if _, ok := s.Peek(); ok || !s.Empty() || s.Len() != 0 {
+		t.Fatal("fresh stack misreports state")
+	}
+	s.Push("a")
+	s.Push("b")
+	if v, ok := s.Peek(); !ok || v != "b" {
+		t.Fatalf("Peek = (%q,%v), want (b,true)", v, ok)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	// Peek must not remove.
+	if v, _ := s.Pop(); v != "b" {
+		t.Fatalf("Pop = %q after Peek, want b", v)
+	}
+}
+
+func TestSequentialMatchesModel(t *testing.T) {
+	f := func(ops []int16) bool {
+		var s Stack[int16]
+		var model []int16
+		for _, op := range ops {
+			if op >= 0 {
+				s.Push(op)
+				model = append(model, op)
+			} else {
+				v, ok := s.Pop()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+					continue
+				}
+				if !ok || v != model[len(model)-1] {
+					return false
+				}
+				model = model[:len(model)-1]
+			}
+		}
+		return s.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentConservation(t *testing.T) {
+	var s Stack[int64]
+	const producers, perProducer = 8, 2000
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(id int64) {
+			defer wg.Done()
+			for i := int64(0); i < perProducer; i++ {
+				s.Push(id<<32 | i)
+			}
+		}(int64(p))
+	}
+	wg.Wait()
+	seen := make(map[int64]bool)
+	for {
+		v, ok := s.Pop()
+		if !ok {
+			break
+		}
+		if seen[v] {
+			t.Fatalf("value %d popped twice", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != producers*perProducer {
+		t.Fatalf("popped %d distinct values, want %d", len(seen), producers*perProducer)
+	}
+}
+
+func TestConcurrentPushPop(t *testing.T) {
+	var s Stack[int]
+	var wg sync.WaitGroup
+	var popped sync.Map
+	const workers, rounds = 4, 2000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(base int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				s.Push(base + i)
+				if v, ok := s.Pop(); ok {
+					if _, dup := popped.LoadOrStore(v, true); dup {
+						t.Errorf("value %d popped twice", v)
+					}
+				}
+			}
+		}(w * rounds * 10)
+	}
+	wg.Wait()
+}
+
+func TestTryPushTryPop(t *testing.T) {
+	var s Stack[int]
+	if !s.TryPush(1) {
+		t.Fatal("TryPush failed on an uncontended stack")
+	}
+	v, ok, contended := s.TryPop()
+	if !ok || contended || v != 1 {
+		t.Fatalf("TryPop = (%d,%v,%v), want (1,true,false)", v, ok, contended)
+	}
+	// Empty: not ok, not contended.
+	if _, ok, contended := s.TryPop(); ok || contended {
+		t.Fatalf("TryPop on empty = (%v,%v), want (false,false)", ok, contended)
+	}
+}
+
+func TestTryOpsUnderContentionEventuallySucceed(t *testing.T) {
+	var s Stack[int]
+	var wg sync.WaitGroup
+	pushed := make([]int, 4)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			n := 0
+			for i := 0; i < 1000; i++ {
+				if s.TryPush(id*10000 + i) {
+					n++
+				}
+			}
+			pushed[id] = n
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range pushed {
+		total += n
+	}
+	if s.Len() != total {
+		t.Fatalf("Len = %d, want %d successful pushes", s.Len(), total)
+	}
+}

@@ -1,0 +1,246 @@
+// Package verify checks recorded synchronous queue histories against the
+// structure's correctness contract (§2.2 of the paper):
+//
+//   - Conservation — every value taken was put exactly once, and (in a
+//     drained run) every value put was taken exactly once; nothing is lost,
+//     duplicated, or invented.
+//   - Synchrony — a synchronous queue transfers a value only while both
+//     parties are inside their operations, so the real-time intervals of a
+//     put and its matching take must overlap. This is the observable
+//     signature of "producers and consumers wait for one another, shake
+//     hands, and leave in pairs."
+//
+// Strict FIFO fairness of the fair queue is checked separately by
+// deterministic scheduling tests (see the core package tests): fairness is
+// a property of linearization order that cannot, in general, be decided
+// from invocation/response timestamps alone.
+package verify
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Kind distinguishes the two operations.
+type Kind uint8
+
+const (
+	// Put is a producer operation.
+	Put Kind = iota
+	// Take is a consumer operation.
+	Take
+)
+
+// Op is one completed operation in a history. Values must be unique across
+// successful puts for conservation checking to be exact (the harness uses
+// a per-producer counter with a thread tag to guarantee this).
+type Op struct {
+	Kind    Kind
+	Value   int64
+	Invoke  time.Duration // offset from the recorder's base time
+	Respond time.Duration
+	OK      bool // false for timeouts / cancellations
+}
+
+// Recorder collects operations concurrently with per-thread shards so that
+// recording does not itself create the contention being measured. Create
+// one with NewRecorder, hand each goroutine its own ThreadLog, and call
+// History after all threads are done.
+type Recorder struct {
+	base   time.Time
+	mu     sync.Mutex
+	shards []*ThreadLog
+}
+
+// NewRecorder returns an empty recorder; timestamps are measured from now.
+func NewRecorder() *Recorder {
+	return &Recorder{base: time.Now()}
+}
+
+// ThreadLog is a single goroutine's event log. Each goroutine must use its
+// own.
+type ThreadLog struct {
+	base time.Time
+	ops  []Op
+}
+
+// NewThread registers and returns a new per-goroutine log.
+func (r *Recorder) NewThread() *ThreadLog {
+	t := &ThreadLog{base: r.base}
+	r.mu.Lock()
+	r.shards = append(r.shards, t)
+	r.mu.Unlock()
+	return t
+}
+
+// Begin stamps the start of an operation; pass the result to End.
+func (t *ThreadLog) Begin() time.Duration { return time.Since(t.base) }
+
+// End records a completed operation that began at inv.
+func (t *ThreadLog) End(kind Kind, value int64, inv time.Duration, ok bool) {
+	t.ops = append(t.ops, Op{
+		Kind:    kind,
+		Value:   value,
+		Invoke:  inv,
+		Respond: time.Since(t.base),
+		OK:      ok,
+	})
+}
+
+// History merges all shards. Call only after every recording goroutine has
+// finished.
+func (r *Recorder) History() []Op {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var all []Op
+	for _, s := range r.shards {
+		all = append(all, s.ops...)
+	}
+	return all
+}
+
+// Result is the outcome of checking a history.
+type Result struct {
+	// Transfers is the number of matched put/take pairs.
+	Transfers int
+	// Errors lists every violation found (empty means the history
+	// passed). At most 20 are retained.
+	Errors []string
+}
+
+// Ok reports whether the history passed all checks.
+func (r Result) Ok() bool { return len(r.Errors) == 0 }
+
+func (r *Result) errf(format string, args ...any) {
+	if len(r.Errors) < 20 {
+		r.Errors = append(r.Errors, fmt.Sprintf(format, args...))
+	}
+}
+
+// Check validates conservation and synchrony of a history. If drained is
+// true the run is expected to have completed every transfer (every
+// successful put matched by a successful take and vice versa); otherwise
+// unmatched successful puts are tolerated only if the caller knows the
+// structure may still hold them (not possible for a synchronous queue, so
+// drained should almost always be true).
+func Check(history []Op, drained bool) Result {
+	var res Result
+	puts := make(map[int64]Op)
+	takes := make(map[int64]Op)
+
+	for _, op := range history {
+		if !op.OK {
+			continue
+		}
+		if op.Respond < op.Invoke {
+			res.errf("operation responds before invocation: %+v", op)
+		}
+		switch op.Kind {
+		case Put:
+			if prev, dup := puts[op.Value]; dup {
+				res.errf("value %d put twice: %+v and %+v", op.Value, prev, op)
+				continue
+			}
+			puts[op.Value] = op
+		case Take:
+			if prev, dup := takes[op.Value]; dup {
+				res.errf("value %d taken twice: %+v and %+v", op.Value, prev, op)
+				continue
+			}
+			takes[op.Value] = op
+		}
+	}
+
+	for v, t := range takes {
+		p, ok := puts[v]
+		if !ok {
+			res.errf("value %d taken but never put", v)
+			continue
+		}
+		// Synchrony: intervals must overlap.
+		if p.Respond < t.Invoke || t.Respond < p.Invoke {
+			res.errf("non-overlapping transfer of %d: put [%v,%v] take [%v,%v]",
+				v, p.Invoke, p.Respond, t.Invoke, t.Respond)
+			continue
+		}
+		res.Transfers++
+	}
+	if drained {
+		for v := range puts {
+			if _, ok := takes[v]; !ok {
+				res.errf("value %d put (successfully) but never taken", v)
+			}
+		}
+	}
+	return res
+}
+
+// PairingOrder reconstructs the order in which transfers were committed,
+// approximated by the midpoint of each pair's overlap window, and returns
+// the put values in that order. It is a diagnostic aid for eyeballing
+// fairness behaviour (FIFO queues produce arrival-ish order, LIFO stacks
+// produce bursts of reversal); strict fairness is validated by the
+// deterministic scheduling tests in the core package, since linearization
+// order cannot in general be decided from timestamps alone.
+func PairingOrder(history []Op) []int64 {
+	type pair struct {
+		v      int64
+		commit time.Duration
+	}
+	puts := make(map[int64]Op)
+	takes := make(map[int64]Op)
+	for _, op := range history {
+		if !op.OK {
+			continue
+		}
+		if op.Kind == Put {
+			puts[op.Value] = op
+		} else {
+			takes[op.Value] = op
+		}
+	}
+	var pairs []pair
+	for v, p := range puts {
+		t, ok := takes[v]
+		if !ok {
+			continue
+		}
+		lo := p.Invoke
+		if t.Invoke > lo {
+			lo = t.Invoke
+		}
+		hi := p.Respond
+		if t.Respond < hi {
+			hi = t.Respond
+		}
+		pairs = append(pairs, pair{v: v, commit: (lo + hi) / 2})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].commit < pairs[j].commit })
+	out := make([]int64, len(pairs))
+	for i, p := range pairs {
+		out[i] = p.v
+	}
+	return out
+}
+
+// Latencies extracts the per-operation wall latencies (respond − invoke),
+// in nanoseconds, of the successful puts and takes in a history — the raw
+// material for latency summaries in stress reports. Failed (timed-out or
+// canceled) operations are excluded, since their latency reflects the
+// caller's patience, not the queue.
+func Latencies(history []Op) (put, take []float64) {
+	for _, op := range history {
+		if !op.OK {
+			continue
+		}
+		l := float64((op.Respond - op.Invoke).Nanoseconds())
+		if op.Kind == Put {
+			put = append(put, l)
+		} else {
+			take = append(take, l)
+		}
+	}
+	return put, take
+}

@@ -1,0 +1,169 @@
+package verify
+
+import (
+	"testing"
+	"time"
+)
+
+func op(kind Kind, v int64, inv, res time.Duration, ok bool) Op {
+	return Op{Kind: kind, Value: v, Invoke: inv, Respond: res, OK: ok}
+}
+
+func TestAcceptsValidHistory(t *testing.T) {
+	h := []Op{
+		op(Put, 1, 0, 10, true),
+		op(Take, 1, 5, 12, true),
+		op(Put, 2, 20, 30, true),
+		op(Take, 2, 25, 28, true),
+	}
+	res := Check(h, true)
+	if !res.Ok() {
+		t.Fatalf("valid history rejected: %v", res.Errors)
+	}
+	if res.Transfers != 2 {
+		t.Fatalf("Transfers = %d, want 2", res.Transfers)
+	}
+}
+
+func TestRejectsValueNeverPut(t *testing.T) {
+	h := []Op{op(Take, 7, 0, 10, true)}
+	if res := Check(h, true); res.Ok() {
+		t.Fatal("accepted a take of a value never put")
+	}
+}
+
+func TestRejectsLostValue(t *testing.T) {
+	h := []Op{op(Put, 7, 0, 10, true)}
+	if res := Check(h, true); res.Ok() {
+		t.Fatal("accepted a successful put never taken (drained run)")
+	}
+	// In a non-drained run this is tolerated.
+	if res := Check(h, false); !res.Ok() {
+		t.Fatalf("non-drained check rejected pending put: %v", res.Errors)
+	}
+}
+
+func TestRejectsDuplicateDelivery(t *testing.T) {
+	h := []Op{
+		op(Put, 7, 0, 10, true),
+		op(Take, 7, 2, 8, true),
+		op(Take, 7, 3, 9, true),
+	}
+	if res := Check(h, true); res.Ok() {
+		t.Fatal("accepted a value delivered twice")
+	}
+}
+
+func TestRejectsDuplicatePut(t *testing.T) {
+	h := []Op{
+		op(Put, 7, 0, 10, true),
+		op(Put, 7, 1, 11, true),
+		op(Take, 7, 2, 8, true),
+	}
+	if res := Check(h, true); res.Ok() {
+		t.Fatal("accepted a value put twice")
+	}
+}
+
+func TestRejectsNonOverlappingTransfer(t *testing.T) {
+	// Put completed at t=10, take started at t=20: not synchronous.
+	h := []Op{
+		op(Put, 7, 0, 10, true),
+		op(Take, 7, 20, 30, true),
+	}
+	if res := Check(h, true); res.Ok() {
+		t.Fatal("accepted a non-overlapping (asynchronous) transfer")
+	}
+}
+
+func TestIgnoresFailedOps(t *testing.T) {
+	h := []Op{
+		op(Put, 1, 0, 10, true),
+		op(Take, 1, 5, 12, true),
+		op(Put, 99, 0, 1, false), // timed out: value never transferred
+		op(Take, 98, 0, 1, false),
+	}
+	res := Check(h, true)
+	if !res.Ok() {
+		t.Fatalf("failed ops caused rejection: %v", res.Errors)
+	}
+	if res.Transfers != 1 {
+		t.Fatalf("Transfers = %d, want 1", res.Transfers)
+	}
+}
+
+func TestRejectsBackwardsClock(t *testing.T) {
+	h := []Op{op(Put, 1, 10, 5, true), op(Take, 1, 6, 11, true)}
+	if res := Check(h, true); res.Ok() {
+		t.Fatal("accepted respond < invoke")
+	}
+}
+
+func TestErrorListIsBounded(t *testing.T) {
+	var h []Op
+	for i := int64(0); i < 100; i++ {
+		h = append(h, op(Take, i, 0, 1, true)) // all taken-but-never-put
+	}
+	res := Check(h, true)
+	if res.Ok() {
+		t.Fatal("accepted invalid history")
+	}
+	if len(res.Errors) > 20 {
+		t.Fatalf("error list grew to %d entries", len(res.Errors))
+	}
+}
+
+func TestRecorderCollectsAcrossThreads(t *testing.T) {
+	r := NewRecorder()
+	t1 := r.NewThread()
+	t2 := r.NewThread()
+	// Interleave the two ops so their intervals overlap, as a real
+	// synchronous transfer's would.
+	inv1 := t1.Begin()
+	inv2 := t2.Begin()
+	t1.End(Put, 1, inv1, true)
+	t2.End(Take, 1, inv2, true)
+	h := r.History()
+	if len(h) != 2 {
+		t.Fatalf("history has %d ops, want 2", len(h))
+	}
+	if res := Check(h, true); !res.Ok() {
+		t.Fatalf("recorded history rejected: %v", res.Errors)
+	}
+}
+
+func TestPairingOrder(t *testing.T) {
+	h := []Op{
+		op(Put, 10, 0, 4, true),
+		op(Take, 10, 1, 3, true), // commit ~2
+		op(Put, 20, 10, 14, true),
+		op(Take, 20, 11, 13, true), // commit ~12
+		op(Put, 30, 5, 9, true),
+		op(Take, 30, 6, 8, true), // commit ~7
+	}
+	order := PairingOrder(h)
+	want := []int64{10, 30, 20}
+	if len(order) != 3 {
+		t.Fatalf("order has %d entries, want 3", len(order))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestLatencies(t *testing.T) {
+	h := []Op{
+		op(Put, 1, 0, 10, true),
+		op(Take, 1, 5, 12, true),
+		op(Put, 2, 0, 100, false), // excluded: failed
+	}
+	put, take := Latencies(h)
+	if len(put) != 1 || put[0] != 10 {
+		t.Fatalf("put latencies = %v, want [10]", put)
+	}
+	if len(take) != 1 || take[0] != 7 {
+		t.Fatalf("take latencies = %v, want [7]", take)
+	}
+}

@@ -1,0 +1,35 @@
+package pool
+
+import (
+	"time"
+
+	"synchq/internal/dual"
+)
+
+// buffered adapts the nonblocking dual queue (Scherer & Scott 2004) as an
+// unbounded FIFO task queue: Offer deposits without waiting for a worker,
+// and idle workers' reservations are fulfilled in arrival order. Note the
+// symmetry with the synchronous configuration: the same dual-data-structure
+// idea backs both, differing only in whether producers wait.
+type buffered struct {
+	q *dual.Queue[Task]
+}
+
+// NewBuffered returns an unbounded buffered task queue for use with New —
+// the work-queue configuration of a fixed pool, as opposed to the
+// synchronous hand-off of a cached pool.
+func NewBuffered() Queue {
+	return buffered{q: dual.NewQueue[Task]()}
+}
+
+// Offer deposits t; it always succeeds (the buffer is unbounded).
+func (b buffered) Offer(t Task) bool {
+	b.q.Enqueue(t)
+	return true
+}
+
+// PollTimeout receives the oldest buffered task, waiting up to d for one
+// to arrive.
+func (b buffered) PollTimeout(d time.Duration) (Task, bool) {
+	return b.q.DequeueTimeout(d)
+}

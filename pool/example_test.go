@@ -1,0 +1,47 @@
+package pool_test
+
+import (
+	"fmt"
+	"sync"
+
+	"synchq"
+	"synchq/pool"
+)
+
+// A cached pool grows on demand and hands tasks straight to idle workers.
+func ExamplePool() {
+	p := pool.New(synchq.NewUnfair[pool.Task](), pool.Config{})
+	var wg sync.WaitGroup
+	results := make([]int, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		i := i
+		if err := p.Submit(func() {
+			defer wg.Done()
+			results[i] = i * i
+		}); err != nil {
+			panic(err)
+		}
+	}
+	wg.Wait()
+	fmt.Println(results)
+	p.Shutdown()
+	p.Wait()
+	// Output: [0 1 4 9]
+}
+
+// SubmitFunc returns a Future for the task's result.
+func ExampleSubmitFunc() {
+	p := pool.New(synchq.NewUnfair[pool.Task](), pool.Config{})
+	fut, err := pool.SubmitFunc(p, func() (string, error) {
+		return "computed", nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	v, _ := fut.Get()
+	fmt.Println(v)
+	p.Shutdown()
+	p.Wait()
+	// Output: computed
+}

@@ -1,0 +1,61 @@
+package pool
+
+import (
+	"context"
+	"fmt"
+)
+
+// Future is the pending result of a task submitted with SubmitFunc. It is
+// completed exactly once.
+type Future[R any] struct {
+	done chan struct{}
+	val  R
+	err  error
+}
+
+// SubmitFunc schedules f on p and returns a Future for its result. A panic
+// inside f is recovered and surfaced as the Future's error.
+func SubmitFunc[R any](p *Pool, f func() (R, error)) (*Future[R], error) {
+	fut := &Future[R]{done: make(chan struct{})}
+	err := p.Submit(func() {
+		defer close(fut.done)
+		defer func() {
+			if r := recover(); r != nil {
+				fut.err = fmt.Errorf("pool: task panicked: %v", r)
+			}
+		}()
+		fut.val, fut.err = f()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return fut, nil
+}
+
+// Get blocks until the task completes and returns its result.
+func (f *Future[R]) Get() (R, error) {
+	<-f.done
+	return f.val, f.err
+}
+
+// GetContext is Get abandoned when ctx is done. The task itself keeps
+// running; only the wait is abandoned.
+func (f *Future[R]) GetContext(ctx context.Context) (R, error) {
+	select {
+	case <-f.done:
+		return f.val, f.err
+	case <-ctx.Done():
+		var zero R
+		return zero, ctx.Err()
+	}
+}
+
+// Done reports whether the task has completed.
+func (f *Future[R]) Done() bool {
+	select {
+	case <-f.done:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,313 @@
+// Package pool implements a cached thread pool in the style of
+// java.util.concurrent.ThreadPoolExecutor over a synchronous queue — the
+// paper's "real-world" benchmark scenario (Figure 6) and the original
+// motivating client of the rich synchronous queue interface.
+//
+// The hand-off discipline is exactly the executor's: Submit offers the task
+// to the synchronous queue, which succeeds only if an idle worker is
+// already waiting in Poll; if no worker is waiting, a new worker goroutine
+// is spawned with the task in hand. Workers that receive no work within
+// the keep-alive interval terminate themselves. The pool therefore grows
+// under load and shrinks when idle, and the synchronous queue's pairing
+// performance directly bounds task dispatch latency.
+package pool
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Task is a unit of work. A nil Task is reserved by the pool as a poison
+// pill and is rejected by Submit.
+type Task func()
+
+// Queue is the hand-off channel between Submit and idle workers: any
+// synchronous queue carrying tasks. Offer must succeed only if a worker is
+// currently waiting in PollTimeout — synchronous hand-off semantics. Both
+// the paper's new algorithms and the Java 5 baseline satisfy this (via
+// synchq.SynchronousQueue[pool.Task] and friends).
+type Queue interface {
+	Offer(t Task) bool
+	PollTimeout(d time.Duration) (Task, bool)
+}
+
+// Errors returned by Submit.
+var (
+	// ErrShutdown is returned after Shutdown has been called.
+	ErrShutdown = errors.New("pool: shut down")
+	// ErrNilTask is returned for a nil task.
+	ErrNilTask = errors.New("pool: nil task")
+	// ErrSaturated is returned when the pool is at MaxWorkers, no worker
+	// is idle, and the rejection policy is Reject.
+	ErrSaturated = errors.New("pool: saturated")
+)
+
+// RejectionPolicy says what Submit does when the pool is saturated (at
+// MaxWorkers with no idle worker).
+type RejectionPolicy int
+
+const (
+	// Reject makes Submit return ErrSaturated.
+	Reject RejectionPolicy = iota
+	// CallerRuns makes Submit execute the task on the calling goroutine,
+	// providing natural backpressure.
+	CallerRuns
+	// Wait makes Submit block until a worker becomes idle.
+	Wait
+)
+
+// Config parameterizes a Pool.
+type Config struct {
+	// KeepAlive is how long an idle worker waits for work before
+	// terminating. Zero selects 60 seconds, the Java cached-pool
+	// default.
+	KeepAlive time.Duration
+	// MaxWorkers caps the number of concurrent workers. Zero selects
+	// effectively-unbounded (the cached pool configuration).
+	MaxWorkers int
+	// CoreWorkers is the number of workers retained even when idle
+	// beyond KeepAlive (ThreadPoolExecutor's corePoolSize). Zero — the
+	// cached-pool configuration — lets every idle worker expire.
+	CoreWorkers int
+	// OnSaturation selects the rejection policy; the default is Reject.
+	OnSaturation RejectionPolicy
+}
+
+// Pool is a dynamically sized worker pool fed through a synchronous queue.
+// Construct one with New; a Pool must not be copied after first use.
+type Pool struct {
+	q         Queue
+	keepAlive time.Duration
+	maxWorker int64
+	core      int64
+	policy    RejectionPolicy
+
+	workers atomic.Int64 // live worker goroutines
+	shut    atomic.Bool
+	wg      sync.WaitGroup
+
+	// Statistics (monotone counters; read with Stats).
+	spawned   atomic.Int64
+	completed atomic.Int64
+	handoffs  atomic.Int64 // submissions served by an already-idle worker
+	panicked  atomic.Int64 // tasks that panicked (recovered by the worker)
+}
+
+// New returns a pool dispatching through q. The zero Config yields a
+// cached pool: unbounded workers, 60 s keep-alive, growth on demand.
+func New(q Queue, cfg Config) *Pool {
+	if cfg.KeepAlive == 0 {
+		cfg.KeepAlive = 60 * time.Second
+	}
+	max := int64(cfg.MaxWorkers)
+	if max <= 0 {
+		max = 1 << 30
+	}
+	core := int64(cfg.CoreWorkers)
+	if core > max {
+		core = max
+	}
+	return &Pool{
+		q:         q,
+		keepAlive: cfg.KeepAlive,
+		maxWorker: max,
+		core:      core,
+		policy:    cfg.OnSaturation,
+	}
+}
+
+// NewFixed returns a fixed-size pool of n workers fed through an unbounded
+// buffered queue (the nonblocking dual queue of Scherer & Scott 2004 in
+// its data-buffering mode): Submit never blocks and never spawns beyond n,
+// and the n workers never expire. It is the analogue of
+// java.util.concurrent.newFixedThreadPool, provided as the buffered
+// counterpoint to the synchronous cached pool.
+func NewFixed(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	return New(NewBuffered(), Config{
+		MaxWorkers:  n,
+		CoreWorkers: n,
+		// Core workers ignore expiry; a short keep-alive just makes
+		// them re-check the shutdown flag promptly.
+		KeepAlive:    100 * time.Millisecond,
+		OnSaturation: Wait,
+	})
+}
+
+// Submit schedules t for execution: it is handed directly to an idle
+// worker when one is waiting; otherwise a new worker is started (up to
+// MaxWorkers); otherwise the rejection policy applies.
+func (p *Pool) Submit(t Task) error {
+	if t == nil {
+		return ErrNilTask
+	}
+	if p.shut.Load() {
+		return ErrShutdown
+	}
+	// Below the core size, spawn unconditionally (ThreadPoolExecutor
+	// grows to corePoolSize before queueing).
+	for {
+		n := p.workers.Load()
+		if n >= p.core {
+			break
+		}
+		if p.workers.CompareAndSwap(n, n+1) {
+			p.wg.Add(1)
+			p.spawned.Add(1)
+			go p.worker(t)
+			return nil
+		}
+	}
+	// Fast path: hand to the queue — for a synchronous queue this
+	// succeeds only if a worker is idle in PollTimeout right now; a
+	// buffered queue accepts unconditionally.
+	if p.q.Offer(t) {
+		p.handoffs.Add(1)
+		return nil
+	}
+	// Slow path: grow the pool.
+	for {
+		n := p.workers.Load()
+		if n >= p.maxWorker {
+			break
+		}
+		if p.workers.CompareAndSwap(n, n+1) {
+			p.wg.Add(1)
+			p.spawned.Add(1)
+			go p.worker(t)
+			return nil
+		}
+	}
+	// Saturated.
+	switch p.policy {
+	case CallerRuns:
+		p.runTask(t)
+		p.completed.Add(1)
+		return nil
+	case Wait:
+		for !p.q.Offer(t) {
+			if p.shut.Load() {
+				return ErrShutdown
+			}
+			// An idle worker will appear as running tasks
+			// finish; yield until the offer lands.
+			time.Sleep(10 * time.Microsecond)
+		}
+		p.handoffs.Add(1)
+		return nil
+	default:
+		return ErrSaturated
+	}
+}
+
+// worker runs first, then serves the queue until keep-alive expires (and
+// the pool is above its core size), a poison pill arrives, or the pool
+// shuts down.
+func (p *Pool) worker(first Task) {
+	defer p.wg.Done()
+	t := first
+	for {
+		if t != nil {
+			p.runTask(t)
+			p.completed.Add(1)
+		}
+		if p.shut.Load() {
+			p.workers.Add(-1)
+			return
+		}
+		next, ok := p.q.PollTimeout(p.keepAlive)
+		if !ok {
+			if p.tryRetire() {
+				return // keep-alive expired above core: shrink
+			}
+			t = nil // core worker: keep serving
+			continue
+		}
+		if next == nil {
+			p.workers.Add(-1)
+			return // poison pill from Shutdown
+		}
+		t = next
+	}
+}
+
+// tryRetire decrements the worker count only while it stays at or above
+// the core size, so keep-alive expiry can never shrink the pool below
+// CoreWorkers even when several workers time out together.
+func (p *Pool) tryRetire() bool {
+	for {
+		n := p.workers.Load()
+		if n <= p.core {
+			return false
+		}
+		if p.workers.CompareAndSwap(n, n-1) {
+			return true
+		}
+	}
+}
+
+// runTask executes t, containing panics: a panicking task must cost the
+// pool nothing but a statistics tick — it must not kill the worker's
+// process nor leak the worker (java.util.concurrent likewise survives
+// runtime exceptions thrown by tasks).
+func (p *Pool) runTask(t Task) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.panicked.Add(1)
+		}
+	}()
+	t()
+}
+
+// Shutdown stops accepting work and wakes idle workers so they exit
+// promptly; workers running a task finish it first. It does not wait; call
+// Wait for that.
+func (p *Pool) Shutdown() {
+	if p.shut.Swap(true) {
+		return
+	}
+	// Drain currently idle workers with poison pills, at most one per
+	// live worker (a buffered queue would otherwise accept poison
+	// forever). Workers that are mid-task re-check the shutdown flag
+	// before polling again, so this races benignly: anyone we miss
+	// exits at the flag check or after one keep-alive at most.
+	for i := p.workers.Load(); i > 0; i-- {
+		if !p.q.Offer(nil) {
+			break
+		}
+	}
+}
+
+// Wait blocks until all workers have exited. Callers normally Shutdown
+// first.
+func (p *Pool) Wait() { p.wg.Wait() }
+
+// Stats is a snapshot of the pool's counters.
+type Stats struct {
+	// Live is the current number of worker goroutines.
+	Live int64
+	// Spawned counts workers ever created.
+	Spawned int64
+	// Completed counts tasks that finished.
+	Completed int64
+	// Handoffs counts submissions served by an already-idle worker
+	// (i.e. synchronous hand-offs that avoided spawning).
+	Handoffs int64
+	// Panicked counts tasks that panicked and were contained.
+	Panicked int64
+}
+
+// Stats returns a snapshot of the pool's counters.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Live:      p.workers.Load(),
+		Spawned:   p.spawned.Load(),
+		Completed: p.completed.Load(),
+		Handoffs:  p.handoffs.Load(),
+		Panicked:  p.panicked.Load(),
+	}
+}

@@ -1,0 +1,217 @@
+package synchq
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"synchq/internal/core"
+)
+
+// ErrTimeout is returned by deadline-bounded operations whose patience
+// interval expired before a counterpart arrived.
+var ErrTimeout = errors.New("synchq: operation timed out")
+
+// Queue is the minimal synchronous hand-off interface: both operations
+// block until a counterpart arrives. Every implementation in this module
+// satisfies it, including the timeout-free classics (Naive, Hanson).
+type Queue[T any] interface {
+	// Put transfers v to a consumer, waiting for one to arrive.
+	Put(v T)
+	// Take receives a value from a producer, waiting for one to arrive.
+	Take() T
+}
+
+// TimedQueue is the paper's rich interface: demand operations plus
+// poll/offer with zero or bounded patience.
+type TimedQueue[T any] interface {
+	Queue[T]
+	// Offer transfers v only if a consumer is already waiting.
+	Offer(v T) bool
+	// OfferTimeout transfers v, waiting up to d for a consumer.
+	OfferTimeout(v T, d time.Duration) bool
+	// Poll receives a value only if a producer is already waiting.
+	Poll() (T, bool)
+	// PollTimeout receives a value, waiting up to d for a producer.
+	PollTimeout(d time.Duration) (T, bool)
+}
+
+// impl is the method set shared by the two core algorithms.
+type impl[T any] interface {
+	Put(T)
+	Take() T
+	PutDeadline(T, time.Time, <-chan struct{}) core.Status
+	TakeDeadline(time.Time, <-chan struct{}) (T, core.Status)
+	Offer(T) bool
+	OfferTimeout(T, time.Duration) bool
+	Poll() (T, bool)
+	PollTimeout(time.Duration) (T, bool)
+	HasWaitingConsumer() bool
+	HasWaitingProducer() bool
+	IsEmpty() bool
+	ReserveTake() (T, core.Ticket[T], bool)
+	ReservePut(T) (core.Ticket[T], bool)
+}
+
+// SynchronousQueue is a nonblocking, contention-free synchronous queue. It
+// pairs producers and consumers with no buffering: each Put waits for a
+// Take and vice versa. Construct one with NewFair, NewUnfair, or New.
+type SynchronousQueue[T any] struct {
+	impl impl[T]
+	fair bool
+}
+
+var (
+	_ TimedQueue[int] = (*SynchronousQueue[int])(nil)
+	_ TimedQueue[int] = (*TransferQueue[int])(nil)
+)
+
+// Option configures a queue built by New.
+type Option func(*config)
+
+type config struct {
+	fair bool
+	wait core.WaitConfig
+}
+
+// Fair selects FIFO (dual queue) pairing when true, LIFO (dual stack)
+// pairing when false. The default is unfair, matching
+// java.util.concurrent.SynchronousQueue.
+func Fair(fair bool) Option {
+	return func(c *config) { c.fair = fair }
+}
+
+// Spins overrides the spin-then-park budgets: timed is the spin count
+// before parking for deadline-bounded waits, untimed for unbounded waits.
+// Negative values disable spinning entirely; zero keeps the platform
+// default (no spinning on uniprocessors).
+func Spins(timed, untimed int) Option {
+	return func(c *config) { c.wait = core.WaitConfig{TimedSpins: timed, UntimedSpins: untimed} }
+}
+
+// New returns a synchronous queue configured by opts; with no options it is
+// equivalent to NewUnfair.
+func New[T any](opts ...Option) *SynchronousQueue[T] {
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	q := &SynchronousQueue[T]{fair: c.fair}
+	if c.fair {
+		q.impl = core.NewDualQueue[T](c.wait)
+	} else {
+		q.impl = core.NewDualStack[T](c.wait)
+	}
+	return q
+}
+
+// NewFair returns the paper's fair synchronous queue (nonblocking dual
+// queue): waiting producers and consumers are paired in strict FIFO order.
+func NewFair[T any]() *SynchronousQueue[T] { return New[T](Fair(true)) }
+
+// NewUnfair returns the paper's unfair synchronous queue (nonblocking dual
+// stack): the most recently arrived waiter is paired first, which tends to
+// improve cache and scheduling locality.
+func NewUnfair[T any]() *SynchronousQueue[T] { return New[T](Fair(false)) }
+
+// Fair reports whether this queue pairs waiters in FIFO order.
+func (q *SynchronousQueue[T]) Fair() bool { return q.fair }
+
+// Put transfers v to a consumer, waiting as long as necessary for one to
+// arrive.
+func (q *SynchronousQueue[T]) Put(v T) { q.impl.Put(v) }
+
+// Take receives a value from a producer, waiting as long as necessary for
+// one to arrive.
+func (q *SynchronousQueue[T]) Take() T { return q.impl.Take() }
+
+// Offer transfers v only if a consumer is already waiting; it reports
+// whether the transfer happened. Offer never blocks.
+func (q *SynchronousQueue[T]) Offer(v T) bool { return q.impl.Offer(v) }
+
+// OfferTimeout transfers v, waiting up to d for a consumer. A non-positive
+// d is equivalent to Offer.
+func (q *SynchronousQueue[T]) OfferTimeout(v T, d time.Duration) bool {
+	return q.impl.OfferTimeout(v, d)
+}
+
+// Poll receives a value only if a producer is already waiting. Poll never
+// blocks.
+func (q *SynchronousQueue[T]) Poll() (T, bool) { return q.impl.Poll() }
+
+// PollTimeout receives a value, waiting up to d for a producer. A
+// non-positive d is equivalent to Poll.
+func (q *SynchronousQueue[T]) PollTimeout(d time.Duration) (T, bool) {
+	return q.impl.PollTimeout(d)
+}
+
+// PutContext transfers v to a consumer, abandoning the attempt if ctx is
+// done first. It returns nil on success, ctx.Err() on cancellation, and
+// ErrTimeout if the context's deadline expired.
+func (q *SynchronousQueue[T]) PutContext(ctx context.Context, v T) error {
+	deadline, _ := ctx.Deadline()
+	switch q.impl.PutDeadline(v, deadline, ctx.Done()) {
+	case core.OK:
+		return nil
+	case core.Canceled:
+		return ctx.Err()
+	default:
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return ErrTimeout
+	}
+}
+
+// TakeContext receives a value, abandoning the attempt if ctx is done
+// first. It returns ctx.Err() on cancellation and ErrTimeout if the
+// context's deadline expired.
+func (q *SynchronousQueue[T]) TakeContext(ctx context.Context) (T, error) {
+	deadline, _ := ctx.Deadline()
+	v, st := q.impl.TakeDeadline(deadline, ctx.Done())
+	switch st {
+	case core.OK:
+		return v, nil
+	case core.Canceled:
+		var zero T
+		return zero, ctx.Err()
+	default:
+		var zero T
+		if err := ctx.Err(); err != nil {
+			return zero, err
+		}
+		return zero, ErrTimeout
+	}
+}
+
+// PollWait receives a value, waiting until a producer arrives, the deadline
+// passes (zero deadline: no deadline) or cancel fires (nil: never). It is
+// the low-level primitive beneath PollTimeout and TakeContext, exposed for
+// integrations — such as thread pools — that manage their own deadlines.
+func (q *SynchronousQueue[T]) PollWait(deadline time.Time, cancel <-chan struct{}) (T, bool) {
+	v, st := q.impl.TakeDeadline(deadline, cancel)
+	if st != core.OK {
+		var zero T
+		return zero, false
+	}
+	return v, true
+}
+
+// OfferWait transfers v, waiting until a consumer arrives, the deadline
+// passes (zero: no deadline) or cancel fires (nil: never).
+func (q *SynchronousQueue[T]) OfferWait(v T, deadline time.Time, cancel <-chan struct{}) bool {
+	return q.impl.PutDeadline(v, deadline, cancel) == core.OK
+}
+
+// HasWaitingConsumer reports whether a consumer was observed waiting. The
+// answer may be stale by the time it is returned; it is a heuristic (for
+// example, for deciding whether submitting work will require a new
+// worker).
+func (q *SynchronousQueue[T]) HasWaitingConsumer() bool { return q.impl.HasWaitingConsumer() }
+
+// HasWaitingProducer reports whether a producer was observed waiting.
+func (q *SynchronousQueue[T]) HasWaitingProducer() bool { return q.impl.HasWaitingProducer() }
+
+// IsEmpty reports whether the queue was observed with no waiting producers
+// or consumers.
+func (q *SynchronousQueue[T]) IsEmpty() bool { return q.impl.IsEmpty() }

@@ -1,0 +1,117 @@
+package synchq
+
+import (
+	"context"
+	"time"
+
+	"synchq/internal/core"
+)
+
+// TransferQueue extends the fair synchronous queue so that producers may
+// choose, per call, whether to hand off synchronously (Transfer: wait for a
+// consumer to take the element) or asynchronously (Put: deposit the element
+// and return immediately). Consumers always wait for data. This is the
+// paper's §5 TransferQueue extension, the ancestor of
+// java.util.concurrent.LinkedTransferQueue, useful for messaging frameworks
+// that mix synchronous and asynchronous messages.
+//
+// Construct one with NewTransferQueue; a TransferQueue must not be copied
+// after first use.
+type TransferQueue[T any] struct {
+	tq *core.TransferQueue[T]
+}
+
+// NewTransferQueue returns an empty transfer queue with default options.
+func NewTransferQueue[T any](opts ...Option) *TransferQueue[T] {
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	return &TransferQueue[T]{tq: core.NewTransferQueue[T](c.wait)}
+}
+
+// Put deposits v asynchronously: a waiting consumer receives it directly,
+// otherwise it is buffered in FIFO order. Put never blocks.
+func (t *TransferQueue[T]) Put(v T) { t.tq.Put(v) }
+
+// Transfer hands v to a consumer synchronously, waiting as long as
+// necessary for one to take it. Buffered elements deposited earlier with
+// Put are taken first (FIFO).
+func (t *TransferQueue[T]) Transfer(v T) { t.tq.Transfer(v) }
+
+// TryTransfer hands v to a consumer only if one is already waiting.
+func (t *TransferQueue[T]) TryTransfer(v T) bool { return t.tq.TryTransfer(v) }
+
+// TransferTimeout hands v to a consumer, waiting up to d for one.
+func (t *TransferQueue[T]) TransferTimeout(v T, d time.Duration) bool {
+	return t.tq.TransferTimeout(v, d)
+}
+
+// TransferContext hands v to a consumer, abandoning the attempt when ctx is
+// done. It returns nil on success, ctx.Err() on cancellation, and
+// ErrTimeout on deadline expiry.
+func (t *TransferQueue[T]) TransferContext(ctx context.Context, v T) error {
+	deadline, _ := ctx.Deadline()
+	switch t.tq.TransferDeadline(v, deadline, ctx.Done()) {
+	case core.OK:
+		return nil
+	case core.Canceled:
+		return ctx.Err()
+	default:
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return ErrTimeout
+	}
+}
+
+// Take receives a value, waiting as long as necessary for one.
+func (t *TransferQueue[T]) Take() T { return t.tq.Take() }
+
+// TakeContext receives a value, abandoning the attempt when ctx is done.
+func (t *TransferQueue[T]) TakeContext(ctx context.Context) (T, error) {
+	deadline, _ := ctx.Deadline()
+	v, st := t.tq.TakeDeadline(deadline, ctx.Done())
+	switch st {
+	case core.OK:
+		return v, nil
+	case core.Canceled:
+		var zero T
+		return zero, ctx.Err()
+	default:
+		var zero T
+		if err := ctx.Err(); err != nil {
+			return zero, err
+		}
+		return zero, ErrTimeout
+	}
+}
+
+// Poll receives a value only if one is immediately available (a waiting
+// synchronous producer or a buffered asynchronous element).
+func (t *TransferQueue[T]) Poll() (T, bool) { return t.tq.Poll() }
+
+// PollTimeout receives a value, waiting up to d for one.
+func (t *TransferQueue[T]) PollTimeout(d time.Duration) (T, bool) { return t.tq.PollTimeout(d) }
+
+// Offer is TryTransfer under the TimedQueue interface: with no buffering
+// requested, an offer succeeds only if a consumer is waiting.
+func (t *TransferQueue[T]) Offer(v T) bool { return t.tq.TryTransfer(v) }
+
+// OfferTimeout is TransferTimeout under the TimedQueue interface.
+func (t *TransferQueue[T]) OfferTimeout(v T, d time.Duration) bool {
+	return t.tq.TransferTimeout(v, d)
+}
+
+// Drain removes and returns every immediately available element (buffered
+// asynchronous deposits and waiting synchronous producers) in FIFO order.
+// It is the bulk form of Poll, useful at shutdown to recover undelivered
+// messages.
+func (t *TransferQueue[T]) Drain() []T { return t.tq.Drain() }
+
+// HasWaitingConsumer reports whether a consumer was observed waiting.
+func (t *TransferQueue[T]) HasWaitingConsumer() bool { return t.tq.HasWaitingConsumer() }
+
+// HasBufferedData reports whether asynchronously deposited elements were
+// observed waiting to be taken.
+func (t *TransferQueue[T]) HasBufferedData() bool { return t.tq.HasBufferedData() }
