@@ -1,0 +1,28 @@
+# Tier-1 gate: everything `make check` runs must pass before a change
+# lands. CI and the pre-merge driver run exactly this target.
+.PHONY: check vet build test race bench-overhead stress
+
+check: vet build test race
+
+vet:
+	go vet ./...
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# Race pass in short mode over the concurrent internals: the stress-to-
+# verify bridge, cancel storms, and metrics integration tests all shrink
+# their iteration counts under -short so the race detector finishes fast.
+race:
+	go test -race -short ./internal/...
+
+# Paired-handoff cost of the instrumentation layer, disabled vs enabled.
+bench-overhead:
+	go test -run - -bench MetricsOverhead -count 5 ./internal/core/
+
+# Quick instrumented stress pass across every timed algorithm.
+stress:
+	go run ./cmd/sqstress -all -metrics -duration 2s

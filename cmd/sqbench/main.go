@@ -48,6 +48,7 @@ func main() {
 		csv       = flag.Bool("csv", false, "emit CSV instead of an aligned table")
 		chart     = flag.Bool("chart", false, "emit ASCII bar charts instead of tables")
 		speedup   = flag.String("speedup", "", "append a speedup table relative to the named series (e.g. \"SynchronousQueue\")")
+		metricsF  = flag.Bool("metrics", false, "append, for live figures 3-5, the instrumented-counter table (CAS failures, spins, parks, unparks, cleaning sweeps per 1000 transfers) recorded alongside throughput")
 		quiet     = flag.Bool("quiet", false, "suppress progress output on stderr")
 		procs     = flag.Int("procs", 0, "GOMAXPROCS for the run; 0 selects max(NumCPU, 8) so that the paper's contention regime is reproduced even on small hosts")
 		simProcs  = flag.Int("simprocs", 16, "simulated processors for -figure sim3")
@@ -147,6 +148,17 @@ func main() {
 		if *speedup != "" && !*csv {
 			fmt.Println()
 			fmt.Print(t.SpeedupTable(*speedup).Render())
+		}
+		if *metricsF {
+			if fig, err := strconv.Atoi(f); err == nil && fig >= 3 && fig <= 5 {
+				mt := bench.FigureMetrics(fig, opts)
+				if *csv {
+					fmt.Print(mt.CSV())
+				} else {
+					fmt.Println()
+					fmt.Print(mt.Render())
+				}
+			}
 		}
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"math/rand/v2"
+	"net/http"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -23,6 +24,7 @@ import (
 	"synchq/internal/baseline"
 	"synchq/internal/bench"
 	"synchq/internal/core"
+	"synchq/internal/metrics"
 	"synchq/internal/stats"
 	"synchq/internal/verify"
 )
@@ -33,20 +35,23 @@ type timedSQ interface {
 	PollTimeout(d time.Duration) (int64, bool)
 }
 
-func newTimed(name string) timedSQ {
+// newTimed constructs the named algorithm, attaching h to the
+// implementations that support instrumentation (the core dual
+// structures). metered reports whether h was attached.
+func newTimed(name string, h *metrics.Handle) (q timedSQ, metered bool) {
 	switch name {
 	case "SynchronousQueue":
-		return baseline.NewJava5[int64](false)
+		return baseline.NewJava5[int64](false), false
 	case "SynchronousQueue (fair)":
-		return baseline.NewJava5[int64](true)
+		return baseline.NewJava5[int64](true), false
 	case "New SynchQueue":
-		return core.NewDualStack[int64](core.WaitConfig{})
+		return core.NewDualStack[int64](core.WaitConfig{Metrics: h}), h != nil
 	case "New SynchQueue (fair)":
-		return core.NewDualQueue[int64](core.WaitConfig{})
+		return core.NewDualQueue[int64](core.WaitConfig{Metrics: h}), h != nil
 	case "GoChannel":
-		return baseline.NewChannel[int64]()
+		return baseline.NewChannel[int64](), false
 	default:
-		return nil
+		return nil, false
 	}
 }
 
@@ -58,29 +63,71 @@ func main() {
 		producers = flag.Int("producers", 8, "producer goroutines")
 		consumers = flag.Int("consumers", 8, "consumer goroutines")
 		seed      = flag.Uint64("seed", 1, "PRNG seed for patience jitter")
+		metricsF  = flag.Bool("metrics", false, "instrument the core dual structures and print their counter table after each run")
+		httpAddr  = flag.String("http", "", "serve expvar at this address (e.g. :8080) so counters are scrapable at /debug/vars during long runs")
 	)
 	flag.Parse()
+
+	if *httpAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "sqstress: expvar server: %v\n", err)
+			}
+		}()
+	}
 
 	names := []string{*algo}
 	if *all {
 		names = nil
 		for _, a := range bench.Algorithms(true) {
-			if newTimed(a.Name) != nil {
+			if q, _ := newTimed(a.Name, nil); q != nil {
 				names = append(names, a.Name)
 			}
 		}
 	}
 
+	// One counter table across all stressed algorithms: a row per
+	// counter, a column per instrumented algorithm.
+	var counterTable *stats.Table
+	if *metricsF {
+		var cols []string
+		for _, name := range names {
+			if _, metered := newTimed(name, metrics.New()); metered {
+				cols = append(cols, name)
+			}
+		}
+		if len(cols) > 0 {
+			counterTable = stats.NewTable("Instrumentation counters", "counter", "events", cols)
+		}
+	}
+
 	exit := 0
 	for _, name := range names {
-		q := newTimed(name)
+		var h *metrics.Handle
+		if *metricsF {
+			h = metrics.New()
+		}
+		q, metered := newTimed(name, h)
 		if q == nil {
 			fmt.Fprintf(os.Stderr, "sqstress: algorithm %q lacks the timed interface\n", name)
 			os.Exit(2)
 		}
+		if metered {
+			metrics.Publish("sqstress."+name, h)
+		}
 		if !stress(name, q, *duration, *producers, *consumers, *seed) {
 			exit = 1
 		}
+		if metered && counterTable != nil {
+			s := h.Snapshot()
+			for i := metrics.ID(0); i < metrics.NumIDs; i++ {
+				counterTable.Set(i.String(), name, float64(s.Get(i)))
+			}
+		}
+	}
+	if counterTable != nil {
+		fmt.Println()
+		fmt.Print(counterTable.Render())
 	}
 	os.Exit(exit)
 }

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"fmt"
+
+	"synchq/internal/core"
+	"synchq/internal/metrics"
+	"synchq/internal/stats"
+)
+
+// MeteredAlgorithm is an algorithm that can be constructed with an
+// instrumentation handle attached — today the two core dual structures;
+// the registry exists so later instrumented implementations (sharded,
+// elimination-fronted) join the -metrics column set by adding a row here.
+type MeteredAlgorithm struct {
+	// Name matches the figure legend; Short prefixes the metric columns.
+	Name, Short string
+	New         func(h *metrics.Handle) SQ
+}
+
+// MeteredAlgorithms returns the instrumented implementations.
+func MeteredAlgorithms() []MeteredAlgorithm {
+	return []MeteredAlgorithm{
+		{
+			Name:  "New SynchQueue",
+			Short: "unfair",
+			New:   func(h *metrics.Handle) SQ { return core.NewDualStack[int64](core.WaitConfig{Metrics: h}) },
+		},
+		{
+			Name:  "New SynchQueue (fair)",
+			Short: "fair",
+			New:   func(h *metrics.Handle) SQ { return core.NewDualQueue[int64](core.WaitConfig{Metrics: h}) },
+		},
+	}
+}
+
+// metricCols are the per-algorithm counter columns of a metrics table:
+// wall time plus the counter deltas of the reported run, normalized per
+// 1000 transfers so cells stay comparable across cell sizes.
+var metricCols = []string{"ns/op", "casfail/k", "spins/k", "parks/k", "unparks/k", "sweeps/k"}
+
+func metricCells(ns float64, d metrics.Snapshot, transfers int64) []float64 {
+	perK := func(v int64) float64 { return float64(v) * 1000 / float64(transfers) }
+	return []float64{
+		ns,
+		perK(d.CASFailures()),
+		perK(d.Get(metrics.Spins)),
+		perK(d.Get(metrics.Parks)),
+		perK(d.Get(metrics.Unparks)),
+		perK(d.Get(metrics.CleanSweeps)),
+	}
+}
+
+// FigureMetrics reruns the handoff workload of Figure 3, 4, or 5 on the
+// instrumented core algorithms and reports, per sweep level, the
+// throughput alongside the counter deltas of the same (best) run — the
+// "-metrics column set": CAS failures, spins, parks, unparks, and cleaning
+// sweeps per 1000 transfers. This is the view every perf PR reports
+// against; ns/transfer says how fast, the counters say why.
+func FigureMetrics(fig int, o SweepOpts) *stats.Table {
+	var (
+		xlabel string
+		shape  func(level int) (producers, consumers int)
+	)
+	defaults := PairLevels
+	switch fig {
+	case 4:
+		xlabel = "consumers"
+		defaults = SingleLevels
+		shape = func(l int) (int, int) { return 1, l }
+	case 5:
+		xlabel = "producers"
+		defaults = SingleLevels
+		shape = func(l int) (int, int) { return l, 1 }
+	default:
+		fig = 3
+		xlabel = "pairs"
+		shape = func(l int) (int, int) { return l, l }
+	}
+	o = o.withDefaults(defaults, 20000)
+
+	algos := MeteredAlgorithms()
+	var cols []string
+	for _, a := range algos {
+		for _, c := range metricCols {
+			cols = append(cols, a.Short+" "+c)
+		}
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("Figure %d counters: instrumented handoff (per 1000 transfers)", fig),
+		xlabel, "ns/transfer + counter deltas", cols)
+
+	for _, level := range o.Levels {
+		producers, consumers := shape(level)
+		for _, a := range algos {
+			if o.Progress != nil {
+				o.Progress(fig, a.Name+" [metrics]", level)
+			}
+			h := metrics.New()
+			bestNs := 0.0
+			var bestDelta metrics.Snapshot
+			for r := 0; r < o.Repeats; r++ {
+				before := h.Snapshot()
+				res := RunHandoff(a.New(h), producers, consumers, o.Transfers, nil)
+				delta := h.Snapshot().Sub(before)
+				ns := res.NsPerTransfer()
+				if r == 0 || ns < bestNs {
+					bestNs = ns
+					bestDelta = delta
+				}
+			}
+			for i, v := range metricCells(bestNs, bestDelta, o.Transfers) {
+				t.Set(fmt.Sprint(level), a.Short+" "+metricCols[i], v)
+			}
+		}
+	}
+	return t
+}

@@ -29,6 +29,7 @@ package core
 import (
 	"time"
 
+	"synchq/internal/metrics"
 	"synchq/internal/spin"
 )
 
@@ -71,6 +72,11 @@ type WaitConfig struct {
 	// UntimedSpins is the spin budget for unbounded waits. Negative
 	// disables spinning; zero selects the platform default.
 	UntimedSpins int
+	// Metrics, if non-nil, receives the queue's event counters (CAS
+	// failures per loop site, spins, parks, unparks, fulfillments,
+	// timeouts, cancellations, cleaning sweeps). Nil disables
+	// instrumentation at the cost of one branch per hook.
+	Metrics *metrics.Handle
 }
 
 // resolve returns the effective spin budgets.

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"synchq/internal/metrics"
 	"synchq/internal/park"
 	"synchq/internal/spin"
 )
@@ -52,12 +53,14 @@ type DualQueue[T any] struct {
 
 	timedSpins   int
 	untimedSpins int
+	// m receives the instrumentation counters; nil disables them.
+	m *metrics.Handle
 }
 
 // NewDualQueue returns an empty fair synchronous queue with the given wait
 // policy (use the zero WaitConfig for the paper's defaults).
 func NewDualQueue[T any](cfg WaitConfig) *DualQueue[T] {
-	q := &DualQueue[T]{canceled: new(qitem[T])}
+	q := &DualQueue[T]{canceled: new(qitem[T]), m: cfg.Metrics}
 	q.timedSpins, q.untimedSpins = cfg.resolve()
 	dummy := &qnode[T]{}
 	q.head.Store(dummy)
@@ -65,15 +68,20 @@ func NewDualQueue[T any](cfg WaitConfig) *DualQueue[T] {
 	return q
 }
 
+// Metrics returns the queue's instrumentation handle (nil when disabled).
+func (q *DualQueue[T]) Metrics() *metrics.Handle { return q.m }
+
 func (q *DualQueue[T]) isCancelled(n *qnode[T]) bool { return n.item.Load() == q.canceled }
 
 // advanceHead swings head from h to nh and self-links the retired node so
 // that isOffList observes it and the garbage collector can reclaim the
 // chain behind it.
-func (q *DualQueue[T]) advanceHead(h, nh *qnode[T]) {
+func (q *DualQueue[T]) advanceHead(h, nh *qnode[T]) bool {
 	if h != nh && q.head.CompareAndSwap(h, nh) {
 		h.next.Store(h)
+		return true
 	}
+	return false
 }
 
 // isOffList reports whether n has been unlinked from the queue (self-linked
@@ -135,9 +143,11 @@ func (q *DualQueue[T]) engage(e *qitem[T], canWait func() bool, async bool) (imm
 			}
 			if tn != nil {
 				q.tail.CompareAndSwap(t, tn) // help lagging tail
+				q.m.Inc(metrics.HelpCollisions)
 				continue
 			}
 			if !canWait() {
+				q.m.Inc(metrics.Timeouts)
 				return nil, nil, nil, Timeout // can't wait
 			}
 			if s == nil {
@@ -145,10 +155,12 @@ func (q *DualQueue[T]) engage(e *qitem[T], canWait func() bool, async bool) (imm
 				s.item.Store(e)
 			}
 			if !t.next.CompareAndSwap(nil, s) {
+				q.m.Inc(metrics.CASFailEnqueue)
 				continue // lost insertion race
 			}
 			q.tail.CompareAndSwap(t, s)
 			if async {
+				q.m.Inc(metrics.AsyncDeposits)
 				return e, nil, nil, OK
 			}
 			return nil, s, t, OK
@@ -165,9 +177,11 @@ func (q *DualQueue[T]) engage(e *qitem[T], canWait func() bool, async bool) (imm
 		if isData == (x != nil) || // m already fulfilled
 			x == q.canceled || // m canceled
 			!m.item.CompareAndSwap(x, e) { // lost fulfill race
+			q.m.Inc(metrics.CASFailFulfill)
 			q.advanceHead(h, m) // dequeue and retry
 			continue
 		}
+		q.m.Inc(metrics.Fulfillments)
 		q.advanceHead(h, m)
 		if p := m.waiter.Load(); p != nil {
 			p.Unpark()
@@ -208,10 +222,17 @@ func (q *DualQueue[T]) awaitFulfill(s *qnode[T], e *qitem[T], deadline time.Time
 	}
 	var p *park.Parker
 	status := Timeout
+	spun := int64(0) // spins batched locally; one Add on exit keeps the hot loop free of atomics
 	for i := 0; ; i++ {
 		x := s.item.Load()
 		if x != e {
+			q.m.Add(metrics.Spins, spun)
 			if x == q.canceled {
+				if status == Canceled {
+					q.m.Inc(metrics.Cancellations)
+				} else {
+					q.m.Inc(metrics.Timeouts)
+				}
 				return x, status
 			}
 			return x, OK
@@ -232,11 +253,12 @@ func (q *DualQueue[T]) awaitFulfill(s *qnode[T], e *qitem[T], deadline time.Time
 		}
 		if spins > 0 {
 			spins--
+			spun++
 			spin.Pause(i)
 			continue
 		}
 		if p == nil {
-			p = park.New()
+			p = park.NewMetered(q.m)
 			s.waiter.Store(p)
 			continue // re-check item before first park
 		}
@@ -266,7 +288,9 @@ func (q *DualQueue[T]) clean(pred, s *qnode[T]) {
 		h := q.head.Load()
 		hn := h.next.Load()
 		if hn != nil && q.isCancelled(hn) {
-			q.advanceHead(h, hn)
+			if q.advanceHead(h, hn) {
+				q.m.Inc(metrics.CleanSweeps)
+			}
 			continue
 		}
 		t := q.tail.Load()
@@ -284,9 +308,14 @@ func (q *DualQueue[T]) clean(pred, s *qnode[T]) {
 		if s != t {
 			// Interior node: unlink it now.
 			sn := s.next.Load()
-			if sn == s || pred.next.CompareAndSwap(s, sn) {
+			if sn == s {
 				return
 			}
+			if pred.next.CompareAndSwap(s, sn) {
+				q.m.Inc(metrics.CleanSweeps)
+				return
+			}
+			q.m.Inc(metrics.CASFailClean)
 		}
 		// s is the tail: defer. First try to flush a previously
 		// deferred node, then (if the slot is free) record ours.
@@ -298,6 +327,7 @@ func (q *DualQueue[T]) clean(pred, s *qnode[T]) {
 				unlinked = true // stale record
 			} else if d != t {
 				if dn := d.next.Load(); dn != nil && dn != d && dp.next.CompareAndSwap(d, dn) {
+					q.m.Inc(metrics.CleanSweeps)
 					unlinked = true
 				}
 			}

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"synchq/internal/metrics"
 	"synchq/internal/park"
 	"synchq/internal/spin"
 )
@@ -59,15 +60,20 @@ type DualStack[T any] struct {
 
 	timedSpins   int
 	untimedSpins int
+	// m receives the instrumentation counters; nil disables them.
+	m *metrics.Handle
 }
 
 // NewDualStack returns an empty unfair synchronous queue with the given
 // wait policy (use the zero WaitConfig for the paper's defaults).
 func NewDualStack[T any](cfg WaitConfig) *DualStack[T] {
-	s := &DualStack[T]{}
+	s := &DualStack[T]{m: cfg.Metrics}
 	s.timedSpins, s.untimedSpins = cfg.resolve()
 	return s
 }
+
+// Metrics returns the stack's instrumentation handle (nil when disabled).
+func (q *DualStack[T]) Metrics() *metrics.Handle { return q.m }
 
 // transfer is the shared engine for put and take (Listing 6): e non-nil
 // pushes a datum, e nil pushes a request. A zero deadline waits forever; an
@@ -121,9 +127,12 @@ func (q *DualStack[T]) engageWait(e *qitem[T], mode uint8, canWait func() bool) 
 			// Empty or same-mode: push and wait (lines 07–16).
 			if !canWait() {
 				if h != nil && h.isCancelled() {
-					q.head.CompareAndSwap(h, h.next.Load())
+					if q.head.CompareAndSwap(h, h.next.Load()) {
+						q.m.Inc(metrics.CleanSweeps)
+					}
 					continue // retire canceled top, retry
 				}
+				q.m.Inc(metrics.Timeouts)
 				return nil, nil, Timeout // can't wait
 			}
 			if s == nil {
@@ -132,6 +141,7 @@ func (q *DualStack[T]) engageWait(e *qitem[T], mode uint8, canWait func() bool) 
 			}
 			s.next.Store(h)
 			if !q.head.CompareAndSwap(h, s) {
+				q.m.Inc(metrics.CASFailEnqueue)
 				continue // lost push race
 			}
 			return nil, s, OK
@@ -140,13 +150,16 @@ func (q *DualStack[T]) engageWait(e *qitem[T], mode uint8, canWait func() bool) 
 			// Complementary node on top: push a fulfilling node
 			// above it (lines 17–25).
 			if h.isCancelled() {
-				q.head.CompareAndSwap(h, h.next.Load())
+				if q.head.CompareAndSwap(h, h.next.Load()) {
+					q.m.Inc(metrics.CleanSweeps)
+				}
 				continue
 			}
 			f := &snode[T]{mode: mode | modeFulfilling}
 			f.item.Store(e)
 			f.next.Store(h)
 			if !q.head.CompareAndSwap(h, f) {
+				q.m.Inc(metrics.CASFailFulfill)
 				continue
 			}
 			for {
@@ -160,6 +173,7 @@ func (q *DualStack[T]) engageWait(e *qitem[T], mode uint8, canWait func() bool) 
 				}
 				mn := m.next.Load()
 				if tryMatch(m, f) {
+					q.m.Inc(metrics.Fulfillments)
 					q.head.CompareAndSwap(f, mn) // pop both
 					if mode == modeRequest {
 						return m.item.Load(), nil, OK
@@ -168,13 +182,17 @@ func (q *DualStack[T]) engageWait(e *qitem[T], mode uint8, canWait func() bool) 
 				}
 				// m was canceled under us: unlink it and try
 				// the next waiter down.
-				f.casNext(m, mn)
+				q.m.Inc(metrics.CASFailFulfill)
+				if f.casNext(m, mn) {
+					q.m.Inc(metrics.CleanSweeps)
+				}
 			}
 
 		default:
 			// Top is another thread's fulfilling node: help it
 			// complete the annihilation before proceeding with
 			// our own work (lines 26–31).
+			q.m.Inc(metrics.HelpCollisions)
 			m := h.next.Load()
 			if m == nil {
 				q.head.CompareAndSwap(h, nil)
@@ -214,9 +232,16 @@ func (q *DualStack[T]) awaitFulfill(s *snode[T], deadline time.Time, cancel <-ch
 	}
 	var p *park.Parker
 	status := Timeout
+	spun := int64(0) // spins batched locally; one Add on exit keeps the hot loop free of atomics
 	for i := 0; ; i++ {
 		if m := s.match.Load(); m != nil {
+			q.m.Add(metrics.Spins, spun)
 			if m == s {
+				if status == Canceled {
+					q.m.Inc(metrics.Cancellations)
+				} else {
+					q.m.Inc(metrics.Timeouts)
+				}
 				return m, status
 			}
 			return m, OK
@@ -241,6 +266,7 @@ func (q *DualStack[T]) awaitFulfill(s *snode[T], deadline time.Time, cancel <-ch
 			// fulfiller cannot strand us spinning.
 			if q.shouldSpin(s) {
 				spins--
+				spun++
 				spin.Pause(i)
 				continue
 			}
@@ -248,7 +274,7 @@ func (q *DualStack[T]) awaitFulfill(s *snode[T], deadline time.Time, cancel <-ch
 			continue
 		}
 		if p == nil {
-			p = park.New()
+			p = park.NewMetered(q.m)
 			s.waiter.Store(p)
 			continue // re-check match before first park
 		}
@@ -289,14 +315,20 @@ func (q *DualStack[T]) clean(s *snode[T]) {
 	// Absorb canceled nodes at the head.
 	p := q.head.Load()
 	for p != nil && p != past && p.isCancelled() {
-		q.head.CompareAndSwap(p, p.next.Load())
+		if q.head.CompareAndSwap(p, p.next.Load()) {
+			q.m.Inc(metrics.CleanSweeps)
+		}
 		p = q.head.Load()
 	}
 	// Unsplice embedded canceled nodes between the head and past.
 	for p != nil && p != past {
 		n := p.next.Load()
 		if n != nil && n.isCancelled() {
-			p.casNext(n, n.next.Load())
+			if p.casNext(n, n.next.Load()) {
+				q.m.Inc(metrics.CleanSweeps)
+			} else {
+				q.m.Inc(metrics.CASFailClean)
+			}
 		} else {
 			p = n
 		}

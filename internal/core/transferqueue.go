@@ -2,6 +2,8 @@ package core
 
 import (
 	"time"
+
+	"synchq/internal/metrics"
 )
 
 // TransferQueue is the paper's §5 extension of the fair synchronous queue:
@@ -23,6 +25,10 @@ type TransferQueue[T any] struct {
 func NewTransferQueue[T any](cfg WaitConfig) *TransferQueue[T] {
 	return &TransferQueue[T]{q: NewDualQueue[T](cfg)}
 }
+
+// Metrics returns the instrumentation handle shared with the underlying
+// dual queue (nil when disabled).
+func (t *TransferQueue[T]) Metrics() *metrics.Handle { return t.q.Metrics() }
 
 // Put deposits v asynchronously: it hands v to a waiting consumer if one is
 // present and otherwise buffers it as a data node, returning immediately in

@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"synchq/internal/metrics"
 	"synchq/internal/park"
 	"synchq/internal/spin"
 )
@@ -72,7 +73,20 @@ type Exchanger[T any] struct {
 	// asArena restricts meetings to complementary parties (data with
 	// request); a standalone exchanger lets any two parties meet.
 	asArena bool
+	// m receives the instrumentation counters; nil disables them.
+	m *metrics.Handle
 }
+
+// SetMetrics attaches an instrumentation handle (nil disables) and returns
+// e for chaining. Call before the exchanger is shared between goroutines.
+func (e *Exchanger[T]) SetMetrics(h *metrics.Handle) *Exchanger[T] {
+	e.m = h
+	return e
+}
+
+// Metrics returns the exchanger's instrumentation handle (nil when
+// disabled).
+func (e *Exchanger[T]) Metrics() *metrics.Handle { return e.m }
 
 // arenaSize picks the number of slots: one is enough at low parallelism;
 // contention spreading only pays with many hardware threads.
@@ -137,11 +151,13 @@ func (e *Exchanger[T]) exchange(v *xbox[T], isData bool, deadline time.Time, can
 	idx := 0
 	for {
 		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			e.m.Inc(metrics.Timeouts)
 			return nil, Timeout
 		}
 		if cancel != nil {
 			select {
 			case <-cancel:
+				e.m.Inc(metrics.Cancellations)
 				return nil, Canceled
 			default:
 			}
@@ -158,6 +174,7 @@ func (e *Exchanger[T]) exchange(v *xbox[T], isData bool, deadline time.Time, can
 				return nil, st
 			}
 			// Collision on the main slot: brief excursion.
+			e.m.Inc(metrics.CASFailEnqueue)
 			idx = e.outerSlot()
 		case cur == nil:
 			if s.n.CompareAndSwap(nil, me) {
@@ -167,12 +184,15 @@ func (e *Exchanger[T]) exchange(v *xbox[T], isData bool, deadline time.Time, can
 				// Withdrew; the node's hole is poisoned, so
 				// a fresh node is needed.
 				me = &xnode[T]{mine: v, isData: isData}
+			} else {
+				e.m.Inc(metrics.CASFailEnqueue)
 			}
 			idx = 0
 		case !e.asArena || cur.isData != isData:
 			// Eligible partner: claim it and fulfill.
 			if s.n.CompareAndSwap(cur, nil) {
 				if cur.hole.CompareAndSwap(nil, e.fulfillValue(v)) {
+					e.m.Inc(metrics.Fulfillments)
 					if p := cur.waiter.Load(); p != nil {
 						p.Unpark()
 					}
@@ -180,6 +200,9 @@ func (e *Exchanger[T]) exchange(v *xbox[T], isData bool, deadline time.Time, can
 				}
 				// Partner canceled between claim and
 				// fulfill; keep looking.
+				e.m.Inc(metrics.CASFailFulfill)
+			} else {
+				e.m.Inc(metrics.CASFailFulfill)
 			}
 		default:
 			// Same-mode occupant (arena mode): look elsewhere,
@@ -214,7 +237,9 @@ func (e *Exchanger[T]) awaitBrief(me *xnode[T], s *slot[T]) (*xbox[T], bool) {
 			}
 			return x, true
 		}
-		spin.Pause(i)
+		// Outer slots are off the hot path, so the per-iteration
+		// metered tick is fine here.
+		spin.MeteredPause(i, e.m)
 	}
 	if me.hole.CompareAndSwap(nil, e.canceled) {
 		s.n.CompareAndSwap(me, nil) // withdraw
@@ -247,11 +272,18 @@ func (e *Exchanger[T]) await(me *xnode[T], s *slot[T], deadline time.Time, cance
 	}
 	var p *park.Parker
 	status := Timeout
+	spun := int64(0)
 	for i := 0; ; i++ {
 		x := me.hole.Load()
 		if x != nil {
+			e.m.Add(metrics.Spins, spun)
 			switch x {
 			case e.canceled:
+				if status == Canceled {
+					e.m.Inc(metrics.Cancellations)
+				} else {
+					e.m.Inc(metrics.Timeouts)
+				}
 				s.n.CompareAndSwap(me, nil) // withdraw
 				return nil, status
 			case e.taken:
@@ -276,11 +308,12 @@ func (e *Exchanger[T]) await(me *xnode[T], s *slot[T], deadline time.Time, cance
 		}
 		if spins > 0 {
 			spins--
+			spun++
 			spin.Pause(i)
 			continue
 		}
 		if p == nil {
-			p = park.New()
+			p = park.NewMetered(e.m)
 			me.waiter.Store(p)
 			continue
 		}

@@ -1,0 +1,176 @@
+package metrics
+
+import (
+	"encoding/json"
+	"expvar"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilHandleIsSafe(t *testing.T) {
+	var h *Handle
+	if h.Enabled() {
+		t.Fatal("nil handle reports Enabled")
+	}
+	h.Inc(Parks) // must not panic
+	h.Add(Spins, 42)
+	h.Reset()
+	if got := h.Load(Parks); got != 0 {
+		t.Fatalf("nil handle Load = %d, want 0", got)
+	}
+	s := h.Snapshot()
+	for i, v := range s {
+		if v != 0 {
+			t.Fatalf("nil handle snapshot[%s] = %d, want 0", ID(i), v)
+		}
+	}
+	if s.String() != "all-zero" {
+		t.Fatalf("nil snapshot String = %q", s.String())
+	}
+}
+
+func TestIncAddLoad(t *testing.T) {
+	h := New()
+	if !h.Enabled() {
+		t.Fatal("fresh handle reports disabled")
+	}
+	h.Inc(Parks)
+	h.Inc(Parks)
+	h.Add(Spins, 5)
+	h.Add(Spins, 0) // no-op by contract
+	if got := h.Load(Parks); got != 2 {
+		t.Fatalf("Load(Parks) = %d, want 2", got)
+	}
+	if got := h.Load(Spins); got != 5 {
+		t.Fatalf("Load(Spins) = %d, want 5", got)
+	}
+	if got := h.Load(Unparks); got != 0 {
+		t.Fatalf("Load(Unparks) = %d, want 0", got)
+	}
+}
+
+func TestSnapshotDeltaReset(t *testing.T) {
+	h := New()
+	h.Add(Fulfillments, 10)
+	before := h.Snapshot()
+	h.Add(Fulfillments, 7)
+	h.Inc(Timeouts)
+	delta := h.Snapshot().Sub(before)
+	if got := delta.Get(Fulfillments); got != 7 {
+		t.Fatalf("delta fulfillments = %d, want 7", got)
+	}
+	if got := delta.Get(Timeouts); got != 1 {
+		t.Fatalf("delta timeouts = %d, want 1", got)
+	}
+	if got := delta.Total(); got != 8 {
+		t.Fatalf("delta total = %d, want 8", got)
+	}
+	h.Reset()
+	for i := ID(0); i < NumIDs; i++ {
+		if got := h.Load(i); got != 0 {
+			t.Fatalf("after Reset, %s = %d, want 0", i, got)
+		}
+	}
+}
+
+func TestCASFailuresAggregates(t *testing.T) {
+	h := New()
+	h.Add(CASFailEnqueue, 3)
+	h.Add(CASFailFulfill, 4)
+	h.Add(CASFailClean, 5)
+	h.Add(Parks, 100) // not a CAS failure
+	if got := h.Snapshot().CASFailures(); got != 12 {
+		t.Fatalf("CASFailures = %d, want 12", got)
+	}
+}
+
+func TestNamesCompleteAndDistinct(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := ID(0); i < NumIDs; i++ {
+		n := i.String()
+		if n == "" || strings.HasPrefix(n, "metrics.ID(") {
+			t.Fatalf("counter %d has no name", int(i))
+		}
+		if seen[n] {
+			t.Fatalf("duplicate counter name %q", n)
+		}
+		seen[n] = true
+	}
+	if got := len(Names()); got != int(NumIDs) {
+		t.Fatalf("Names() returned %d entries, want %d", got, NumIDs)
+	}
+	if out := ID(-1).String(); out != "metrics.ID(-1)" {
+		t.Fatalf("out-of-range ID String = %q", out)
+	}
+}
+
+// TestConcurrentIncrements is the -race correctness test: concurrent Inc
+// and Add calls from many goroutines must neither race nor lose counts.
+func TestConcurrentIncrements(t *testing.T) {
+	h := New()
+	const goroutines = 8
+	const perG = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Inc(Parks)
+				h.Add(Spins, 2)
+				// A concurrent reader must be race-free too.
+				if g == 0 && i%64 == 0 {
+					_ = h.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := h.Load(Parks); got != goroutines*perG {
+		t.Fatalf("Parks = %d, want %d", got, goroutines*perG)
+	}
+	if got := h.Load(Spins); got != 2*goroutines*perG {
+		t.Fatalf("Spins = %d, want %d", got, 2*goroutines*perG)
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	h := New()
+	h.Add(Parks, 3)
+	h.Inc(Timeouts)
+	s := h.Snapshot().String()
+	if !strings.Contains(s, "parks=3") || !strings.Contains(s, "timeouts=1") {
+		t.Fatalf("snapshot String = %q, want parks=3 and timeouts=1", s)
+	}
+	if strings.Contains(s, "spins") {
+		t.Fatalf("snapshot String %q includes zero counter", s)
+	}
+}
+
+func TestPublishAndRebind(t *testing.T) {
+	h1 := New()
+	h1.Add(Fulfillments, 11)
+	Publish("test-metrics-handle", h1)
+	v := expvar.Get("test-metrics-handle")
+	if v == nil {
+		t.Fatal("expvar name not published")
+	}
+	var m map[string]int64
+	if err := json.Unmarshal([]byte(v.String()), &m); err != nil {
+		t.Fatalf("expvar value is not JSON: %v", err)
+	}
+	if m["fulfillments"] != 11 {
+		t.Fatalf("expvar fulfillments = %d, want 11", m["fulfillments"])
+	}
+	// Rebinding the same name must not panic and must serve the new handle.
+	h2 := New()
+	h2.Add(Fulfillments, 99)
+	Publish("test-metrics-handle", h2)
+	if err := json.Unmarshal([]byte(expvar.Get("test-metrics-handle").String()), &m); err != nil {
+		t.Fatalf("expvar value after rebind is not JSON: %v", err)
+	}
+	if m["fulfillments"] != 99 {
+		t.Fatalf("after rebind, fulfillments = %d, want 99", m["fulfillments"])
+	}
+}

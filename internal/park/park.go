@@ -13,14 +13,17 @@ package park
 import (
 	"sync"
 	"time"
+
+	"synchq/internal/metrics"
 )
 
 // Parker blocks and unblocks a single goroutine with one-permit semantics.
-// A Parker must be created with New and must not be copied after first use.
-// Park and ParkTimeout may only be called by one goroutine at a time (the
-// owner); Unpark may be called by any goroutine.
+// A Parker must be created with New or NewMetered and must not be copied
+// after first use. Park and ParkTimeout may only be called by one goroutine
+// at a time (the owner); Unpark may be called by any goroutine.
 type Parker struct {
 	ch chan struct{}
+	m  *metrics.Handle
 }
 
 // New returns a Parker with no permit available.
@@ -28,17 +31,31 @@ func New() *Parker {
 	return &Parker{ch: make(chan struct{}, 1)}
 }
 
+// NewMetered returns a Parker that tallies slow-path parks and delivered
+// unparks on h. A nil h is valid and equivalent to New.
+func NewMetered(h *metrics.Handle) *Parker {
+	return &Parker{ch: make(chan struct{}, 1), m: h}
+}
+
 // Unpark makes the permit available, unblocking a current or future Park.
-// Multiple Unparks coalesce into a single permit.
+// Multiple Unparks coalesce into a single permit; only the Unpark that
+// deposits the permit counts as a delivery.
 func (p *Parker) Unpark() {
 	select {
 	case p.ch <- struct{}{}:
+		p.m.Inc(metrics.Unparks)
 	default:
 	}
 }
 
 // Park blocks until the permit is available and consumes it.
 func (p *Parker) Park() {
+	select {
+	case <-p.ch:
+		return // permit already available: no deschedule
+	default:
+	}
+	p.m.Inc(metrics.Parks)
 	<-p.ch
 }
 
@@ -79,6 +96,7 @@ func (p *Parker) ParkTimeout(d time.Duration) bool {
 		return true
 	default:
 	}
+	p.m.Inc(metrics.Parks)
 	t := timerPool.Get().(*time.Timer)
 	t.Reset(d)
 	defer func() {
@@ -117,6 +135,12 @@ func (p *Parker) ParkChan(cancel <-chan struct{}) bool {
 		p.Park()
 		return true
 	}
+	select {
+	case <-p.ch:
+		return true
+	default:
+	}
+	p.m.Inc(metrics.Parks)
 	select {
 	case <-p.ch:
 		return true

@@ -1,6 +1,10 @@
 package park
 
-import "time"
+import (
+	"time"
+
+	"synchq/internal/metrics"
+)
 
 // WaitResult reports why a Wait call returned.
 type WaitResult int
@@ -46,6 +50,7 @@ func (p *Parker) Wait(deadline time.Time, cancel <-chan struct{}) WaitResult {
 		timerC = t.C
 	}
 
+	p.m.Inc(metrics.Parks)
 	select {
 	case <-p.ch:
 		return Unparked

@@ -13,6 +13,8 @@ import (
 	"runtime"
 	"sync/atomic"
 	"time"
+
+	"synchq/internal/metrics"
 )
 
 // multicore records whether more than one logical CPU is available to the
@@ -63,6 +65,16 @@ func Pause(i int) {
 	if i&15 == 15 {
 		runtime.Gosched()
 	}
+}
+
+// MeteredPause is Pause plus a spin-counter tick on h (nil-safe). Spin
+// loops that already batch their own counts should keep doing so and call
+// Pause directly — per-iteration atomics on an instrumented hot loop are
+// exactly the overhead batching avoids; this helper is for loops that are
+// not themselves throughput-critical.
+func MeteredPause(i int, h *metrics.Handle) {
+	h.Inc(metrics.Spins)
+	Pause(i)
 }
 
 // Backoff implements randomized-free exponential backoff for CAS retry
