@@ -1,8 +1,8 @@
 # Tier-1 gate: everything `make check` runs must pass before a change
 # lands. CI and the pre-merge driver run exactly this target.
-.PHONY: check vet build test race bench-overhead stress
+.PHONY: check vet build test race bench-overhead stress chaos chaos-short
 
-check: vet build test race
+check: vet build test race chaos-short
 
 vet:
 	go vet ./...
@@ -26,3 +26,17 @@ bench-overhead:
 # Quick instrumented stress pass across every timed algorithm.
 stress:
 	go run ./cmd/sqstress -all -metrics -duration 2s
+
+# Short seeded chaos pass over all three dual structures, race-enabled:
+# deterministic CAS failures, preemptions, spurious unparks, and timer
+# skew, with the full history checked for conservation and synchrony.
+# The fixed seed makes a CI failure replayable verbatim on a laptop.
+chaos-short:
+	go run -race ./cmd/sqstress -algo "New SynchQueue,New SynchQueue (fair),New TransferQueue" \
+		-chaos -seed 1 -duration 300ms -producers 4 -consumers 4
+
+# Long chaos soak for hunting new schedules: vary -seed to explore, then
+# replay any failure with the seed the run printed.
+chaos:
+	go run -race ./cmd/sqstress -algo "New SynchQueue,New SynchQueue (fair),New TransferQueue" \
+		-chaos -seed $$RANDOM -duration 10s -metrics

@@ -5,9 +5,16 @@
 // conservation (no value lost, duplicated, or invented) and synchrony
 // (every transfer's put and take intervals overlap).
 //
+// With -chaos, the core dual structures additionally run under the
+// deterministic fault injector (internal/fault): seeded CAS failures,
+// preemption pauses at linearization-critical windows, spurious unparks,
+// and timer skew. A failing run prints its seed; re-running with the same
+// -seed replays the same injected-event stream.
+//
 // Usage:
 //
 //	sqstress -algo "New SynchQueue (fair)" -duration 10s -producers 8 -consumers 8
+//	sqstress -algo "New SynchQueue,New TransferQueue" -chaos -seed 42 -duration 2s
 //	sqstress -all -duration 2s
 package main
 
@@ -17,6 +24,7 @@ import (
 	"math/rand/v2"
 	"net/http"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -24,6 +32,7 @@ import (
 	"synchq/internal/baseline"
 	"synchq/internal/bench"
 	"synchq/internal/core"
+	"synchq/internal/fault"
 	"synchq/internal/metrics"
 	"synchq/internal/stats"
 	"synchq/internal/verify"
@@ -35,19 +44,30 @@ type timedSQ interface {
 	PollTimeout(d time.Duration) (int64, bool)
 }
 
-// newTimed constructs the named algorithm, attaching h to the
-// implementations that support instrumentation (the core dual
+// transferSQ adapts the §5 transfer queue to the stress mix: an offer is a
+// synchronous transfer with bounded patience, so the workload exercises the
+// same dual-queue hand-off paths plus the transfer queue's wrappers.
+type transferSQ struct{ tq *core.TransferQueue[int64] }
+
+func (a transferSQ) OfferTimeout(v int64, d time.Duration) bool { return a.tq.TransferTimeout(v, d) }
+func (a transferSQ) PollTimeout(d time.Duration) (int64, bool)  { return a.tq.PollTimeout(d) }
+
+// newTimed constructs the named algorithm, attaching h and the fault
+// injector f to the implementations that support them (the core dual
 // structures). metered reports whether h was attached.
-func newTimed(name string, h *metrics.Handle) (q timedSQ, metered bool) {
+func newTimed(name string, h *metrics.Handle, f *fault.Injector) (q timedSQ, metered bool) {
+	cfg := core.WaitConfig{Metrics: h, Fault: f}
 	switch name {
 	case "SynchronousQueue":
 		return baseline.NewJava5[int64](false), false
 	case "SynchronousQueue (fair)":
 		return baseline.NewJava5[int64](true), false
 	case "New SynchQueue":
-		return core.NewDualStack[int64](core.WaitConfig{Metrics: h}), h != nil
+		return core.NewDualStack[int64](cfg), h != nil
 	case "New SynchQueue (fair)":
-		return core.NewDualQueue[int64](core.WaitConfig{Metrics: h}), h != nil
+		return core.NewDualQueue[int64](cfg), h != nil
+	case "New TransferQueue":
+		return transferSQ{core.NewTransferQueue[int64](cfg)}, h != nil
 	case "GoChannel":
 		return baseline.NewChannel[int64](), false
 	default:
@@ -57,13 +77,14 @@ func newTimed(name string, h *metrics.Handle) (q timedSQ, metered bool) {
 
 func main() {
 	var (
-		algo      = flag.String("algo", "New SynchQueue (fair)", "algorithm under test (bench registry name)")
+		algo      = flag.String("algo", "New SynchQueue (fair)", "algorithm under test (bench registry name); comma-separate to stress several")
 		all       = flag.Bool("all", false, "stress every timed algorithm in sequence")
 		duration  = flag.Duration("duration", 5*time.Second, "stress duration per algorithm")
 		producers = flag.Int("producers", 8, "producer goroutines")
 		consumers = flag.Int("consumers", 8, "consumer goroutines")
-		seed      = flag.Uint64("seed", 1, "PRNG seed for patience jitter")
-		metricsF  = flag.Bool("metrics", false, "instrument the core dual structures and print their counter table after each run")
+		seed      = flag.Uint64("seed", 1, "PRNG seed for patience jitter and fault injection")
+		chaos     = flag.Bool("chaos", false, "inject deterministic faults (seeded CAS failures, preemptions, spurious unparks, timer skew) into the core dual structures")
+		metricsF  = flag.Bool("metrics", false, "print the instrumentation counter table after the runs (always printed on failure)")
 		httpAddr  = flag.String("http", "", "serve expvar at this address (e.g. :8080) so counters are scrapable at /debug/vars during long runs")
 	)
 	flag.Parse()
@@ -76,38 +97,52 @@ func main() {
 		}()
 	}
 
-	names := []string{*algo}
+	var names []string
+	for _, n := range strings.Split(*algo, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
 	if *all {
 		names = nil
 		for _, a := range bench.Algorithms(true) {
-			if q, _ := newTimed(a.Name, nil); q != nil {
+			if q, _ := newTimed(a.Name, nil, nil); q != nil {
 				names = append(names, a.Name)
 			}
 		}
+		// The transfer queue lives outside the bench registry (its Put is
+		// asynchronous, which the throughput benchmarks exclude) but its
+		// synchronous paths stress exactly like the fair queue's.
+		names = append(names, "New TransferQueue")
 	}
 
-	// One counter table across all stressed algorithms: a row per
-	// counter, a column per instrumented algorithm.
+	if *chaos {
+		fmt.Printf("chaos: seed=%d (re-run with -chaos -seed %d to replay the injected-event stream)\n", *seed, *seed)
+	}
+
+	// One counter table across all stressed algorithms: a row per counter,
+	// a column per instrumented algorithm. The core structures are always
+	// metered so the table can be dumped when a run fails; -metrics merely
+	// prints it unconditionally.
+	var cols []string
+	for _, name := range names {
+		if _, metered := newTimed(name, metrics.New(), nil); metered {
+			cols = append(cols, name)
+		}
+	}
 	var counterTable *stats.Table
-	if *metricsF {
-		var cols []string
-		for _, name := range names {
-			if _, metered := newTimed(name, metrics.New()); metered {
-				cols = append(cols, name)
-			}
-		}
-		if len(cols) > 0 {
-			counterTable = stats.NewTable("Instrumentation counters", "counter", "events", cols)
-		}
+	if len(cols) > 0 {
+		counterTable = stats.NewTable("Instrumentation counters", "counter", "events", cols)
 	}
 
 	exit := 0
 	for _, name := range names {
-		var h *metrics.Handle
-		if *metricsF {
-			h = metrics.New()
+		h := metrics.New()
+		var inj *fault.Injector
+		if *chaos {
+			inj = fault.Chaos(*seed)
 		}
-		q, metered := newTimed(name, h)
+		q, metered := newTimed(name, h, inj)
 		if q == nil {
 			fmt.Fprintf(os.Stderr, "sqstress: algorithm %q lacks the timed interface\n", name)
 			os.Exit(2)
@@ -118,6 +153,9 @@ func main() {
 		if !stress(name, q, *duration, *producers, *consumers, *seed) {
 			exit = 1
 		}
+		if *chaos && metered {
+			fmt.Printf("  %s\n", inj)
+		}
 		if metered && counterTable != nil {
 			s := h.Snapshot()
 			for i := metrics.ID(0); i < metrics.NumIDs; i++ {
@@ -125,7 +163,7 @@ func main() {
 			}
 		}
 	}
-	if counterTable != nil {
+	if counterTable != nil && (*metricsF || exit != 0) {
 		fmt.Println()
 		fmt.Print(counterTable.Render())
 	}

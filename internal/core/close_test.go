@@ -1,0 +1,366 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"synchq/internal/metrics"
+	"synchq/internal/verify"
+)
+
+// This file verifies graceful shutdown: Close must wake every waiter with
+// the Closed status, reject subsequent operations, lose no in-flight
+// transfer (each hand-off completes in both parties or in neither), and —
+// for the transfer queue — keep every asynchronous deposit it accepted.
+
+// closeOps is the shutdown surface shared by the three structures,
+// expressed as funcs so one storm harness covers all of them. put and
+// take block until fulfilled or closed (zero deadline).
+type closeOps struct {
+	put    func(v int64) Status
+	take   func() (int64, Status)
+	close  func()
+	closed func() bool
+}
+
+func queueCloseOps(q *DualQueue[int64]) closeOps {
+	return closeOps{
+		put:    func(v int64) Status { return q.PutDeadline(v, time.Time{}, nil) },
+		take:   func() (int64, Status) { return q.TakeDeadline(time.Time{}, nil) },
+		close:  q.Close,
+		closed: q.Closed,
+	}
+}
+
+func stackCloseOps(q *DualStack[int64]) closeOps {
+	return closeOps{
+		put:    func(v int64) Status { return q.PutDeadline(v, time.Time{}, nil) },
+		take:   func() (int64, Status) { return q.TakeDeadline(time.Time{}, nil) },
+		close:  q.Close,
+		closed: q.Closed,
+	}
+}
+
+func transferCloseOps(tq *TransferQueue[int64]) closeOps {
+	return closeOps{
+		put:    func(v int64) Status { return tq.TransferDeadline(v, time.Time{}, nil) },
+		take:   func() (int64, Status) { return tq.TakeDeadline(time.Time{}, nil) },
+		close:  tq.Close,
+		closed: tq.Closed,
+	}
+}
+
+// runCloseStorm closes the structure in the middle of a full-throttle
+// producer/consumer storm of unbounded (block-until-closed) operations,
+// then checks that every goroutine returned, that the recorded history is
+// conserving and synchronous, and that the two sides agree on how many
+// transfers completed — i.e. close never tears a hand-off in half.
+func runCloseStorm(t *testing.T, ops closeOps, producers, consumers int) {
+	t.Helper()
+	rec := verify.NewRecorder()
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(id int64) {
+			defer wg.Done()
+			log := rec.NewThread()
+			for seq := int64(0); ; seq++ {
+				v := id<<40 | seq
+				inv := log.Begin()
+				st := ops.put(v)
+				log.End(verify.Put, v, inv, st == OK)
+				if st == Closed {
+					return
+				}
+				if st != OK {
+					t.Errorf("put %d: unexpected status %v", v, st)
+					return
+				}
+			}
+		}(int64(p))
+	}
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			log := rec.NewThread()
+			for {
+				inv := log.Begin()
+				v, st := ops.take()
+				log.End(verify.Take, v, inv, st == OK)
+				if st == Closed {
+					return
+				}
+				if st != OK {
+					t.Errorf("take: unexpected status %v", st)
+					return
+				}
+			}
+		}()
+	}
+
+	time.Sleep(20 * time.Millisecond)
+	ops.close()
+	// The acceptance criterion "every waiter returns Closed" is this Wait
+	// terminating: a missed wakeup would hang the test.
+	wg.Wait()
+
+	if !ops.closed() {
+		t.Fatal("Closed() false after Close")
+	}
+	ops.close() // idempotent
+	if st := ops.put(99); st != Closed {
+		t.Fatalf("put after close: got %v, want Closed", st)
+	}
+	if _, st := ops.take(); st != Closed {
+		t.Fatalf("take after close: got %v, want Closed", st)
+	}
+
+	res := verify.Check(rec.History(), true)
+	if !res.Ok() {
+		for _, e := range res.Errors {
+			t.Errorf("history violation: %s", e)
+		}
+	}
+	if res.Transfers == 0 {
+		t.Error("storm completed no transfers before close")
+	}
+}
+
+func TestDualQueueCloseUnderLoad(t *testing.T) {
+	runCloseStorm(t, queueCloseOps(NewDualQueue[int64](WaitConfig{})), 6, 6)
+}
+
+func TestDualStackCloseUnderLoad(t *testing.T) {
+	runCloseStorm(t, stackCloseOps(NewDualStack[int64](WaitConfig{})), 6, 6)
+}
+
+func TestTransferQueueCloseUnderLoad(t *testing.T) {
+	runCloseStorm(t, transferCloseOps(NewTransferQueue[int64](WaitConfig{})), 6, 6)
+}
+
+// TestCloseWakesParkedWaiters parks waiters on both sides (producers on
+// the queue, consumers too would deadlock a synchronous structure — so
+// two phases) and closes; every waiter must return Closed and the
+// ClosedWakeups counter must see them.
+func TestCloseWakesParkedWaiters(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		fresh func(h *metrics.Handle) closeOps
+	}{
+		{"queue", func(h *metrics.Handle) closeOps {
+			return queueCloseOps(NewDualQueue[int64](WaitConfig{Metrics: h}))
+		}},
+		{"stack", func(h *metrics.Handle) closeOps {
+			return stackCloseOps(NewDualStack[int64](WaitConfig{Metrics: h}))
+		}},
+		{"transfer", func(h *metrics.Handle) closeOps {
+			return transferCloseOps(NewTransferQueue[int64](WaitConfig{Metrics: h}))
+		}},
+	} {
+		for _, side := range []string{"producers", "consumers"} {
+			t.Run(tc.name+"/"+side, func(t *testing.T) {
+				h := metrics.New()
+				ops := tc.fresh(h)
+				const waiters = 4
+				results := make(chan Status, waiters)
+				for i := 0; i < waiters; i++ {
+					go func(v int64) {
+						if side == "producers" {
+							results <- ops.put(v)
+						} else {
+							_, st := ops.take()
+							results <- st
+						}
+					}(int64(i))
+				}
+				// Let the waiters engage and park before closing.
+				time.Sleep(10 * time.Millisecond)
+				ops.close()
+				for i := 0; i < waiters; i++ {
+					select {
+					case st := <-results:
+						if st != Closed {
+							t.Fatalf("waiter returned %v, want Closed", st)
+						}
+					case <-time.After(5 * time.Second):
+						t.Fatal("waiter not woken by Close")
+					}
+				}
+				if got := h.Snapshot().Get(metrics.ClosedWakeups); got < waiters {
+					t.Errorf("closed-wakeups = %d, want >= %d", got, waiters)
+				}
+			})
+		}
+	}
+}
+
+// TestTransferQueueCloseKeepsDeposits checks the §5 drain guarantee under
+// a concurrent close: every asynchronous Put that reported OK must later
+// surface exactly once — through a consumer or through Drain — and every
+// Put that reported Closed must never surface.
+func TestTransferQueueCloseKeepsDeposits(t *testing.T) {
+	tq := NewTransferQueue[int64](WaitConfig{})
+	const producers, perProducer = 4, 2000
+
+	accepted := make([]map[int64]bool, producers)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		accepted[p] = make(map[int64]bool, perProducer)
+		wg.Add(1)
+		go func(id int64) {
+			defer wg.Done()
+			for seq := int64(0); seq < perProducer; seq++ {
+				v := id<<40 | seq
+				if tq.Put(v) == OK {
+					accepted[id][v] = true
+				} else {
+					return // closed: all later Puts would be refused too
+				}
+			}
+		}(int64(p))
+	}
+
+	taken := make(map[int64]bool)
+	var takenMu sync.Mutex
+	var cwg sync.WaitGroup
+	for c := 0; c < 2; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for {
+				v, st := tq.TakeDeadline(time.Time{}, nil)
+				if st != OK {
+					return // Closed, and the buffer is empty
+				}
+				takenMu.Lock()
+				if taken[v] {
+					t.Errorf("value %d delivered twice", v)
+				}
+				taken[v] = true
+				takenMu.Unlock()
+			}
+		}()
+	}
+
+	time.Sleep(2 * time.Millisecond)
+	tq.Close()
+	wg.Wait()  // producers stop accepting
+	cwg.Wait() // consumers drain the rest, then observe Closed
+
+	drained := tq.Drain()
+	for _, v := range drained {
+		if taken[v] {
+			t.Errorf("value %d both taken and drained", v)
+		}
+		taken[v] = true
+	}
+	if tq.Put(12345) != Closed {
+		t.Error("Put accepted after Close")
+	}
+
+	total := 0
+	for id := range accepted {
+		for v := range accepted[id] {
+			if !taken[v] {
+				t.Errorf("accepted deposit %d lost by close", v)
+			}
+			total++
+		}
+	}
+	for v := range taken {
+		id := v >> 40
+		if !accepted[id][v] {
+			t.Errorf("value %d surfaced but was never accepted", v)
+		}
+	}
+	if total == 0 {
+		t.Error("no deposits accepted before close; test proved nothing")
+	}
+}
+
+// TestDemandOpsPanicAfterClose: the demand operations have no status
+// channel, so — like a send on a closed Go channel — they panic.
+func TestDemandOpsPanicAfterClose(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic on closed structure", name)
+			}
+		}()
+		f()
+	}
+	q := NewDualQueue[int](WaitConfig{})
+	q.Close()
+	mustPanic("queue.Put", func() { q.Put(1) })
+	mustPanic("queue.Take", func() { q.Take() })
+	mustPanic("queue.PutReserve", func() { q.PutReserve(1) })
+	mustPanic("queue.TakeReserve", func() { q.TakeReserve() })
+
+	s := NewDualStack[int](WaitConfig{})
+	s.Close()
+	mustPanic("stack.Put", func() { s.Put(1) })
+	mustPanic("stack.Take", func() { s.Take() })
+	mustPanic("stack.PutReserve", func() { s.PutReserve(1) })
+	mustPanic("stack.TakeReserve", func() { s.TakeReserve() })
+
+	// Zero-patience probes stay non-panicking: they report "nothing
+	// available" rather than tearing down pollers racing a shutdown.
+	if ok := q.Offer(1); ok {
+		t.Error("queue.Offer succeeded on closed queue")
+	}
+	if _, ok := s.Poll(); ok {
+		t.Error("stack.Poll succeeded on closed stack")
+	}
+}
+
+// TestTicketCloseSemantics: a reservation evicted by Close reports Closed
+// through Await, never reports fulfillment through TryFollowup, and may
+// be aborted successfully (no value was transferred).
+func TestTicketCloseSemantics(t *testing.T) {
+	t.Run("queue-await", func(t *testing.T) {
+		q := NewDualQueue[int](WaitConfig{})
+		tk, ok := q.PutReserve(7)
+		if ok {
+			t.Fatal("immediate fulfillment on empty queue")
+		}
+		q.Close()
+		if _, ok := tk.TryFollowup(); ok {
+			t.Error("TryFollowup reported delivery on a closed reservation")
+		}
+		if _, st := tk.Await(time.Time{}, nil); st != Closed {
+			t.Errorf("Await = %v, want Closed", st)
+		}
+	})
+	t.Run("queue-abort", func(t *testing.T) {
+		q := NewDualQueue[int](WaitConfig{})
+		tk, _ := q.PutReserve(7)
+		q.Close()
+		if !tk.Abort() {
+			t.Error("Abort of a close-evicted reservation failed")
+		}
+	})
+	t.Run("stack-await", func(t *testing.T) {
+		s := NewDualStack[int](WaitConfig{})
+		tk, ok := s.PutReserve(7)
+		if ok {
+			t.Fatal("immediate fulfillment on empty stack")
+		}
+		s.Close()
+		if _, ok := tk.TryFollowup(); ok {
+			t.Error("TryFollowup reported delivery on a closed reservation")
+		}
+		if _, st := tk.Await(time.Time{}, nil); st != Closed {
+			t.Errorf("Await = %v, want Closed", st)
+		}
+	})
+	t.Run("stack-abort", func(t *testing.T) {
+		s := NewDualStack[int](WaitConfig{})
+		tk, _ := s.PutReserve(7)
+		s.Close()
+		if !tk.Abort() {
+			t.Error("Abort of a close-evicted reservation failed")
+		}
+	})
+}

@@ -29,6 +29,7 @@ package core
 import (
 	"time"
 
+	"synchq/internal/fault"
 	"synchq/internal/metrics"
 	"synchq/internal/spin"
 )
@@ -45,6 +46,10 @@ const (
 	// Canceled means the operation was abandoned because its cancel
 	// channel fired.
 	Canceled
+	// Closed means the structure was shut down with Close: either the
+	// operation arrived after the close, or the caller was waiting in
+	// the structure when the close happened.
+	Closed
 )
 
 // String returns a human-readable form of s.
@@ -56,10 +61,19 @@ func (s Status) String() string {
 		return "timeout"
 	case Canceled:
 		return "canceled"
+	case Closed:
+		return "closed"
 	default:
 		return "invalid"
 	}
 }
+
+// errClosedDemand is the panic value for demand operations (Put, Take, the
+// reservation request operations) invoked on a closed structure, which
+// have no status channel to report Closed through — the analogue of Go's
+// "send on closed channel" panic. Status-returning operations report
+// Closed instead of panicking.
+const errClosedDemand = "synchq: operation on closed queue"
 
 // WaitConfig tunes the waiting policy of a synchronous queue. The zero
 // value selects the paper's defaults: spin briefly before parking on
@@ -77,6 +91,11 @@ type WaitConfig struct {
 	// timeouts, cancellations, cleaning sweeps). Nil disables
 	// instrumentation at the cost of one branch per hook.
 	Metrics *metrics.Handle
+	// Fault, if non-nil, injects deterministic faults (forced CAS
+	// failures, preemption at linearization-critical points, spurious
+	// unparks, timer skew) at the same sites the metrics counters name.
+	// Nil disables injection at the cost of one branch per hook.
+	Fault *fault.Injector
 }
 
 // resolve returns the effective spin budgets.

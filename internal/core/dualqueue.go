@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"synchq/internal/fault"
 	"synchq/internal/metrics"
 	"synchq/internal/park"
 	"synchq/internal/spin"
@@ -14,15 +15,19 @@ import (
 // false, item initially nil), never both at once; the node at head is always
 // a retired dummy.
 //
-// Fulfillment and cancellation are both CASes on item:
+// Fulfillment, cancellation, and close are all CASes on item:
 //
-//	data node:    item: &v ──taken──▶ nil        or ──canceled──▶ sentinel
-//	request node: item: nil ──filled──▶ &v       or ──canceled──▶ sentinel
+//	data node:    item: &v ──taken──▶ nil        or ──canceled/closed──▶ sentinel
+//	request node: item: nil ──filled──▶ &v       or ──canceled/closed──▶ sentinel
 type qnode[T any] struct {
 	next   atomic.Pointer[qnode[T]]
 	item   atomic.Pointer[qitem[T]]
 	waiter atomic.Pointer[park.Parker]
 	isData bool
+	// async marks a data node deposited without a waiting producer (the
+	// TransferQueue extension). Close leaves async nodes in place so
+	// already-accepted data can still be drained.
+	async bool
 }
 
 // qitem boxes a transferred value. The trailing pad guarantees every
@@ -50,17 +55,27 @@ type DualQueue[T any] struct {
 	// item points here. It stands in for the JDK's "item == this"
 	// self-marker, which Go's typed atomics cannot express.
 	canceled *qitem[T]
+	// closedSent is the shutdown sentinel: a waiter whose node's item is
+	// swung here was evicted by Close and reports the Closed status
+	// (distinct from canceled so close-time wakeups are not mistaken for
+	// timeouts or cancellations).
+	closedSent *qitem[T]
+	// closed is set by Close; the enqueue arm of engage refuses to add
+	// waiters once it is set.
+	closed atomic.Bool
 
 	timedSpins   int
 	untimedSpins int
 	// m receives the instrumentation counters; nil disables them.
 	m *metrics.Handle
+	// f injects deterministic faults at the labeled sites; nil disables.
+	f *fault.Injector
 }
 
 // NewDualQueue returns an empty fair synchronous queue with the given wait
 // policy (use the zero WaitConfig for the paper's defaults).
 func NewDualQueue[T any](cfg WaitConfig) *DualQueue[T] {
-	q := &DualQueue[T]{canceled: new(qitem[T]), m: cfg.Metrics}
+	q := &DualQueue[T]{canceled: new(qitem[T]), closedSent: new(qitem[T]), m: cfg.Metrics, f: cfg.Fault}
 	q.timedSpins, q.untimedSpins = cfg.resolve()
 	dummy := &qnode[T]{}
 	q.head.Store(dummy)
@@ -71,7 +86,11 @@ func NewDualQueue[T any](cfg WaitConfig) *DualQueue[T] {
 // Metrics returns the queue's instrumentation handle (nil when disabled).
 func (q *DualQueue[T]) Metrics() *metrics.Handle { return q.m }
 
-func (q *DualQueue[T]) isCancelled(n *qnode[T]) bool { return n.item.Load() == q.canceled }
+// isDead reports whether an observed item value is one of the two
+// abandonment sentinels (canceled or evicted by Close).
+func (q *DualQueue[T]) isDead(x *qitem[T]) bool { return x == q.canceled || x == q.closedSent }
+
+func (q *DualQueue[T]) isCancelled(n *qnode[T]) bool { return q.isDead(n.item.Load()) }
 
 // advanceHead swings head from h to nh and self-links the retired node so
 // that isOffList observes it and the garbage collector can reclaim the
@@ -107,8 +126,15 @@ func (q *DualQueue[T]) transfer(e *qitem[T], deadline time.Time, cancel <-chan s
 		return imm, OK // completed immediately (fulfilled a waiter, or async deposit)
 	}
 
+	if q.closed.Load() {
+		// Close may have raced our enqueue and finished its eviction
+		// sweep before our node was linked; self-evict so the waiter
+		// is never stranded. If a fulfiller got here first the CAS
+		// fails and the transfer completes normally.
+		s.item.CompareAndSwap(e, q.closedSent)
+	}
 	x, status := q.awaitFulfill(s, e, deadline, cancel)
-	if x == q.canceled {
+	if q.isDead(x) {
 		q.clean(pred, s)
 		return nil, status
 	}
@@ -146,18 +172,26 @@ func (q *DualQueue[T]) engage(e *qitem[T], canWait func() bool, async bool) (imm
 				q.m.Inc(metrics.HelpCollisions)
 				continue
 			}
+			if q.closed.Load() {
+				// The queue is shut down: nothing may wait (and
+				// async deposits are refused). Checked before
+				// canWait so a poll on a closed empty queue
+				// reports Closed, not Timeout.
+				return nil, nil, nil, Closed
+			}
 			if !canWait() {
 				q.m.Inc(metrics.Timeouts)
 				return nil, nil, nil, Timeout // can't wait
 			}
 			if s == nil {
-				s = &qnode[T]{isData: isData}
+				s = &qnode[T]{isData: isData, async: async}
 				s.item.Store(e)
 			}
-			if !t.next.CompareAndSwap(nil, s) {
+			if q.f.FailCAS(fault.QEnqueueCAS) || !t.next.CompareAndSwap(nil, s) {
 				q.m.Inc(metrics.CASFailEnqueue)
 				continue // lost insertion race
 			}
+			q.f.Preempt(fault.QEnqueuePause)
 			q.tail.CompareAndSwap(t, s)
 			if async {
 				q.m.Inc(metrics.AsyncDeposits)
@@ -173,15 +207,25 @@ func (q *DualQueue[T]) engage(e *qitem[T], canWait func() bool, async bool) (imm
 		if t != q.tail.Load() || m == nil || h != q.head.Load() {
 			continue // inconsistent snapshot
 		}
+		if q.f.FailCAS(fault.QFulfillCAS) {
+			// Injected lost fulfill race: retry from a fresh
+			// snapshot, as a loser whose mate already dequeued m
+			// would. (The dequeue-and-retry arc below is only
+			// taken after a real item change — taking it here
+			// would evict a live waiter.)
+			q.m.Inc(metrics.CASFailFulfill)
+			continue
+		}
 		x := m.item.Load()
 		if isData == (x != nil) || // m already fulfilled
-			x == q.canceled || // m canceled
+			q.isDead(x) || // m canceled or evicted by Close
 			!m.item.CompareAndSwap(x, e) { // lost fulfill race
 			q.m.Inc(metrics.CASFailFulfill)
 			q.advanceHead(h, m) // dequeue and retry
 			continue
 		}
 		q.m.Inc(metrics.Fulfillments)
+		q.f.Preempt(fault.QFulfillPause)
 		q.advanceHead(h, m)
 		if p := m.waiter.Load(); p != nil {
 			p.Unpark()
@@ -227,6 +271,10 @@ func (q *DualQueue[T]) awaitFulfill(s *qnode[T], e *qitem[T], deadline time.Time
 		x := s.item.Load()
 		if x != e {
 			q.m.Add(metrics.Spins, spun)
+			if x == q.closedSent {
+				q.m.Inc(metrics.ClosedWakeups)
+				return x, Closed
+			}
 			if x == q.canceled {
 				if status == Canceled {
 					q.m.Inc(metrics.Cancellations)
@@ -258,7 +306,7 @@ func (q *DualQueue[T]) awaitFulfill(s *qnode[T], e *qitem[T], deadline time.Time
 			continue
 		}
 		if p == nil {
-			p = park.NewMetered(q.m)
+			p = park.NewFaulty(q.m, q.f)
 			s.waiter.Store(p)
 			continue // re-check item before first park
 		}
@@ -311,6 +359,10 @@ func (q *DualQueue[T]) clean(pred, s *qnode[T]) {
 			if sn == s {
 				return
 			}
+			if q.f.FailCAS(fault.QCleanCAS) {
+				q.m.Inc(metrics.CASFailClean)
+				continue // injected lost unlink: re-examine from the top
+			}
 			if pred.next.CompareAndSwap(s, sn) {
 				q.m.Inc(metrics.CleanSweeps)
 				return
@@ -343,10 +395,69 @@ func (q *DualQueue[T]) clean(pred, s *qnode[T]) {
 	}
 }
 
+// Close shuts the queue down gracefully: every waiter parked or spinning
+// in the structure is woken and returns the Closed status, and every
+// subsequent operation observes Closed (status-returning operations
+// report it; demand operations panic, mirroring Go's closed-channel
+// semantics). Asynchronously deposited data nodes (the TransferQueue
+// extension) are left in place so already-accepted items can still be
+// polled or drained. Close is idempotent and safe to call concurrently
+// with any operation; it does not block on waiters.
+//
+// Close linearizes against in-flight fulfillments without locking: both a
+// fulfiller and the close sweep resolve a waiter with a single CAS on the
+// node's item word, so each waiter is either transferred or evicted,
+// never both. An operation concurrent with Close may complete as if it
+// happened just before the close; an operation that begins after Close
+// returns always observes Closed.
+func (q *DualQueue[T]) Close() {
+	q.closed.Store(true)
+	// Eviction sweep. No new waiters can be linked once closed is set
+	// (the enqueue arm re-checks it, and transfer self-evicts nodes that
+	// raced the sweep), so one pass over the list suffices; the walk
+	// restarts if it steps onto a node advanceHead already retired.
+	for {
+		n := q.head.Load().next.Load()
+		restarted := false
+		for n != nil && !restarted {
+			if isOffList(n) {
+				restarted = true // raced a head advance: restart the walk
+				break
+			}
+			x := n.item.Load()
+			live := !q.isDead(x) && (n.isData == (x != nil))
+			if live && n.isData && n.async {
+				// Deposited data with no waiting producer:
+				// keep it for Drain.
+				n = n.next.Load()
+				continue
+			}
+			if live {
+				if !n.item.CompareAndSwap(x, q.closedSent) {
+					continue // item changed under us: re-examine this node
+				}
+				if p := n.waiter.Load(); p != nil {
+					p.Unpark()
+				}
+			}
+			n = n.next.Load()
+		}
+		if !restarted {
+			return
+		}
+	}
+}
+
+// Closed reports whether Close has been called.
+func (q *DualQueue[T]) Closed() bool { return q.closed.Load() }
+
 // Put transfers v to a consumer, waiting as long as necessary for one to
-// arrive.
+// arrive. Put panics if the queue is closed while waiting (or was already
+// closed), since it has no status channel to report Closed through.
 func (q *DualQueue[T]) Put(v T) {
-	q.transfer(&qitem[T]{v: v}, time.Time{}, nil, false)
+	if _, st := q.transfer(&qitem[T]{v: v}, time.Time{}, nil, false); st == Closed {
+		panic(errClosedDemand)
+	}
 }
 
 // PutDeadline transfers v to a consumer, giving up at the deadline (zero
@@ -371,14 +482,21 @@ func (q *DualQueue[T]) OfferTimeout(v T, d time.Duration) bool {
 
 // PutAsync deposits v without waiting for a consumer: the paper's
 // TransferQueue extension ("releasing producers before items are taken").
-func (q *DualQueue[T]) PutAsync(v T) {
-	q.transfer(&qitem[T]{v: v}, time.Time{}, nil, true)
+// It reports OK, or Closed when the queue has been shut down (the deposit
+// is refused so closed queues cannot accumulate unreachable data).
+func (q *DualQueue[T]) PutAsync(v T) Status {
+	_, st := q.transfer(&qitem[T]{v: v}, time.Time{}, nil, true)
+	return st
 }
 
 // Take receives a value from a producer, waiting as long as necessary for
-// one to arrive.
+// one to arrive. Take panics if the queue is closed while waiting (or was
+// already closed), rather than inventing a zero value.
 func (q *DualQueue[T]) Take() T {
-	x, _ := q.transfer(nil, time.Time{}, nil, false)
+	x, st := q.transfer(nil, time.Time{}, nil, false)
+	if st == Closed {
+		panic(errClosedDemand)
+	}
 	return x.v
 }
 

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"synchq/internal/fault"
 	"synchq/internal/metrics"
 	"synchq/internal/park"
 	"synchq/internal/spin"
@@ -21,7 +22,8 @@ const (
 
 // snode is a node of the synchronous dual stack. match is the annihilation
 // pointer: a fulfiller CASes it from nil to itself; a waiter that times out
-// CASes it from nil to the node itself (self-match means canceled). item is
+// CASes it from nil to the node itself (self-match means canceled), and a
+// close sweep CASes it from nil to the stack's closed sentinel. item is
 // boxed (qitem) so the ticket API can share value plumbing with the queue.
 type snode[T any] struct {
 	next   atomic.Pointer[snode[T]]
@@ -30,8 +32,6 @@ type snode[T any] struct {
 	item   atomic.Pointer[qitem[T]]
 	mode   uint8
 }
-
-func (n *snode[T]) isCancelled() bool { return n.match.Load() == n }
 
 // tryMatch attempts to match node m with fulfiller f, waking m's waiter on
 // success. It also returns true if m was already matched with f by a
@@ -58,22 +58,42 @@ func (n *snode[T]) casNext(m, mn *snode[T]) bool {
 type DualStack[T any] struct {
 	head atomic.Pointer[snode[T]]
 
+	// closedMark is the shutdown sentinel: a waiter whose node's match is
+	// swung here was evicted by Close and reports the Closed status. It
+	// plays the role self-matching plays for cancellation, but from the
+	// outside — only the waiter itself may self-match, so Close needs a
+	// third party every fulfiller already treats as "not my match".
+	closedMark *snode[T]
+	// closed is set by Close; the push arm of engageWait refuses to add
+	// waiters once it is set.
+	closed atomic.Bool
+
 	timedSpins   int
 	untimedSpins int
 	// m receives the instrumentation counters; nil disables them.
 	m *metrics.Handle
+	// f injects deterministic faults at the labeled sites; nil disables.
+	f *fault.Injector
 }
 
 // NewDualStack returns an empty unfair synchronous queue with the given
 // wait policy (use the zero WaitConfig for the paper's defaults).
 func NewDualStack[T any](cfg WaitConfig) *DualStack[T] {
-	s := &DualStack[T]{m: cfg.Metrics}
+	s := &DualStack[T]{closedMark: &snode[T]{}, m: cfg.Metrics, f: cfg.Fault}
 	s.timedSpins, s.untimedSpins = cfg.resolve()
 	return s
 }
 
 // Metrics returns the stack's instrumentation handle (nil when disabled).
 func (q *DualStack[T]) Metrics() *metrics.Handle { return q.m }
+
+// isDead reports whether node n has been abandoned — canceled
+// (self-matched) or evicted by Close (matched with the closed sentinel) —
+// and should be unlinked rather than fulfilled.
+func (q *DualStack[T]) isDead(n *snode[T]) bool {
+	m := n.match.Load()
+	return m == n || m == q.closedMark
+}
 
 // transfer is the shared engine for put and take (Listing 6): e non-nil
 // pushes a datum, e nil pushes a request. A zero deadline waits forever; an
@@ -94,10 +114,17 @@ func (q *DualStack[T]) transfer(e *qitem[T], deadline time.Time, cancel <-chan s
 		return imm, OK // fulfilled a waiting counterpart directly
 	}
 
+	if q.closed.Load() {
+		// Close may have raced our push and finished its eviction
+		// sweep before our node was visible; self-evict so the waiter
+		// is never stranded. If a fulfiller matched us first the CAS
+		// fails and the transfer completes normally.
+		s.match.CompareAndSwap(nil, q.closedMark)
+	}
 	m, status := q.awaitFulfill(s, deadline, cancel)
-	if m == s {
+	if m == s || m == q.closedMark {
 		q.clean(s)
-		return nil, status // canceled
+		return nil, status // canceled or evicted by Close
 	}
 	q.finishMatch(s)
 	if mode == modeRequest {
@@ -106,9 +133,14 @@ func (q *DualStack[T]) transfer(e *qitem[T], deadline time.Time, cancel <-chan s
 	return s.item.Load(), OK
 }
 
-// engage is engageWait with unconditional waiting, for the ticket API.
+// engage is engageWait with unconditional waiting, for the ticket API. It
+// panics on a closed stack (the reservation request operations have no
+// status channel to report Closed through).
 func (q *DualStack[T]) engage(e *qitem[T], mode uint8) (*qitem[T], *snode[T]) {
-	imm, s, _ := q.engageWait(e, mode, func() bool { return true })
+	imm, s, st := q.engageWait(e, mode, func() bool { return true })
+	if st == Closed {
+		panic(errClosedDemand)
+	}
 	return imm, s
 }
 
@@ -125,8 +157,14 @@ func (q *DualStack[T]) engageWait(e *qitem[T], mode uint8, canWait func() bool) 
 		switch {
 		case h == nil || h.mode == mode:
 			// Empty or same-mode: push and wait (lines 07–16).
+			if q.closed.Load() {
+				// Shut down: nothing may wait. Checked before
+				// canWait so a poll on a closed empty stack
+				// reports Closed, not Timeout.
+				return nil, nil, Closed
+			}
 			if !canWait() {
-				if h != nil && h.isCancelled() {
+				if h != nil && q.isDead(h) {
 					if q.head.CompareAndSwap(h, h.next.Load()) {
 						q.m.Inc(metrics.CleanSweeps)
 					}
@@ -140,7 +178,7 @@ func (q *DualStack[T]) engageWait(e *qitem[T], mode uint8, canWait func() bool) 
 				s.item.Store(e)
 			}
 			s.next.Store(h)
-			if !q.head.CompareAndSwap(h, s) {
+			if q.f.FailCAS(fault.SPushCAS) || !q.head.CompareAndSwap(h, s) {
 				q.m.Inc(metrics.CASFailEnqueue)
 				continue // lost push race
 			}
@@ -149,7 +187,7 @@ func (q *DualStack[T]) engageWait(e *qitem[T], mode uint8, canWait func() bool) 
 		case h.mode&modeFulfilling == 0:
 			// Complementary node on top: push a fulfilling node
 			// above it (lines 17–25).
-			if h.isCancelled() {
+			if q.isDead(h) {
 				if q.head.CompareAndSwap(h, h.next.Load()) {
 					q.m.Inc(metrics.CleanSweeps)
 				}
@@ -158,10 +196,11 @@ func (q *DualStack[T]) engageWait(e *qitem[T], mode uint8, canWait func() bool) 
 			f := &snode[T]{mode: mode | modeFulfilling}
 			f.item.Store(e)
 			f.next.Store(h)
-			if !q.head.CompareAndSwap(h, f) {
+			if q.f.FailCAS(fault.SFulfillCAS) || !q.head.CompareAndSwap(h, f) {
 				q.m.Inc(metrics.CASFailFulfill)
 				continue
 			}
+			q.f.Preempt(fault.SFulfillPause)
 			for {
 				m := f.next.Load() // the node we are fulfilling
 				if m == nil {
@@ -193,6 +232,7 @@ func (q *DualStack[T]) engageWait(e *qitem[T], mode uint8, canWait func() bool) 
 			// complete the annihilation before proceeding with
 			// our own work (lines 26–31).
 			q.m.Inc(metrics.HelpCollisions)
+			q.f.Preempt(fault.SHelpPause)
 			m := h.next.Load()
 			if m == nil {
 				q.head.CompareAndSwap(h, nil)
@@ -236,6 +276,10 @@ func (q *DualStack[T]) awaitFulfill(s *snode[T], deadline time.Time, cancel <-ch
 	for i := 0; ; i++ {
 		if m := s.match.Load(); m != nil {
 			q.m.Add(metrics.Spins, spun)
+			if m == q.closedMark {
+				q.m.Inc(metrics.ClosedWakeups)
+				return m, Closed
+			}
 			if m == s {
 				if status == Canceled {
 					q.m.Inc(metrics.Cancellations)
@@ -274,7 +318,7 @@ func (q *DualStack[T]) awaitFulfill(s *snode[T], deadline time.Time, cancel <-ch
 			continue
 		}
 		if p == nil {
-			p = park.NewMetered(q.m)
+			p = park.NewFaulty(q.m, q.f)
 			s.waiter.Store(p)
 			continue // re-check match before first park
 		}
@@ -308,13 +352,13 @@ func (q *DualStack[T]) clean(s *snode[T]) {
 	s.waiter.Store(nil)
 
 	past := s.next.Load()
-	if past != nil && past.isCancelled() {
+	if past != nil && q.isDead(past) {
 		past = past.next.Load()
 	}
 
 	// Absorb canceled nodes at the head.
 	p := q.head.Load()
-	for p != nil && p != past && p.isCancelled() {
+	for p != nil && p != past && q.isDead(p) {
 		if q.head.CompareAndSwap(p, p.next.Load()) {
 			q.m.Inc(metrics.CleanSweeps)
 		}
@@ -323,11 +367,11 @@ func (q *DualStack[T]) clean(s *snode[T]) {
 	// Unsplice embedded canceled nodes between the head and past.
 	for p != nil && p != past {
 		n := p.next.Load()
-		if n != nil && n.isCancelled() {
-			if p.casNext(n, n.next.Load()) {
-				q.m.Inc(metrics.CleanSweeps)
-			} else {
+		if n != nil && q.isDead(n) {
+			if q.f.FailCAS(fault.SCleanCAS) || !p.casNext(n, n.next.Load()) {
 				q.m.Inc(metrics.CASFailClean)
+			} else {
+				q.m.Inc(metrics.CleanSweeps)
 			}
 		} else {
 			p = n
@@ -335,10 +379,45 @@ func (q *DualStack[T]) clean(s *snode[T]) {
 	}
 }
 
+// Close shuts the stack down gracefully: every waiter parked or spinning
+// in the structure is woken and returns the Closed status, and every
+// subsequent operation observes Closed (status-returning operations
+// report it; demand operations panic). Close is idempotent and safe to
+// call concurrently with any operation; it does not block on waiters.
+//
+// Close linearizes against in-flight annihilations without locking: both
+// a fulfiller and the close sweep resolve a waiter with a single CAS on
+// the node's match word (the fulfiller installs itself, the sweep
+// installs the closed sentinel), so each waiter is either transferred or
+// evicted, never both.
+func (q *DualStack[T]) Close() {
+	q.closed.Store(true)
+	// Eviction sweep. No new waiters can be pushed once closed is set
+	// (the push arm re-checks it, and transfer self-evicts nodes that
+	// raced the sweep). Popped nodes keep their next pointers, so one
+	// walk reaches every node that was ever below the observed head.
+	for n := q.head.Load(); n != nil; n = n.next.Load() {
+		if n.mode&modeFulfilling != 0 {
+			continue // an in-flight fulfiller; its own thread completes or retries
+		}
+		if n.match.CompareAndSwap(nil, q.closedMark) {
+			if p := n.waiter.Load(); p != nil {
+				p.Unpark()
+			}
+		}
+	}
+}
+
+// Closed reports whether Close has been called.
+func (q *DualStack[T]) Closed() bool { return q.closed.Load() }
+
 // Put transfers v to a consumer, waiting as long as necessary for one to
-// arrive.
+// arrive. Put panics if the stack is closed while waiting (or was already
+// closed), since it has no status channel to report Closed through.
 func (q *DualStack[T]) Put(v T) {
-	q.transfer(&qitem[T]{v: v}, time.Time{}, nil)
+	if _, st := q.transfer(&qitem[T]{v: v}, time.Time{}, nil); st == Closed {
+		panic(errClosedDemand)
+	}
 }
 
 // PutDeadline transfers v to a consumer, giving up at the deadline (zero
@@ -361,9 +440,13 @@ func (q *DualStack[T]) OfferTimeout(v T, d time.Duration) bool {
 }
 
 // Take receives a value from a producer, waiting as long as necessary for
-// one to arrive.
+// one to arrive. Take panics if the stack is closed while waiting (or was
+// already closed), rather than inventing a zero value.
 func (q *DualStack[T]) Take() T {
-	x, _ := q.transfer(nil, time.Time{}, nil)
+	x, st := q.transfer(nil, time.Time{}, nil)
+	if st == Closed {
+		panic(errClosedDemand)
+	}
 	return x.v
 }
 
@@ -401,7 +484,7 @@ func (q *DualStack[T]) PollTimeout(d time.Duration) (T, bool) {
 // observe classifies the stack's current content (tests/monitoring only).
 func (q *DualStack[T]) observe() (data, reservations bool) {
 	h := q.head.Load()
-	if h == nil || h.isCancelled() {
+	if h == nil || q.isDead(h) {
 		return false, false
 	}
 	switch h.mode &^ modeFulfilling {

@@ -38,8 +38,13 @@ type QueueTicket[T any] struct {
 // which linearizes the caller's place in line). If a producer was already
 // waiting, its value is returned at once with ok true and a nil ticket;
 // otherwise ok is false and the ticket tracks the pending reservation.
+// TakeReserve panics if the queue is closed (like the demand operations,
+// it has no status channel to report Closed through).
 func (q *DualQueue[T]) TakeReserve() (T, *QueueTicket[T], bool) {
-	imm, node, pred, _ := q.engage(nil, func() bool { return true }, false)
+	imm, node, pred, st := q.engage(nil, func() bool { return true }, false)
+	if st == Closed {
+		panic(errClosedDemand)
+	}
 	if node == nil {
 		return imm.v, nil, true
 	}
@@ -50,10 +55,13 @@ func (q *DualQueue[T]) TakeReserve() (T, *QueueTicket[T], bool) {
 // PutReserve offers v to a future consumer (the request operation). If a
 // consumer was already waiting, v is delivered at once and ok is true with
 // a nil ticket; otherwise ok is false and the ticket tracks the pending
-// offer.
+// offer. PutReserve panics if the queue is closed.
 func (q *DualQueue[T]) PutReserve(v T) (*QueueTicket[T], bool) {
 	e := &qitem[T]{v: v}
-	_, node, pred, _ := q.engage(e, func() bool { return true }, false)
+	_, node, pred, st := q.engage(e, func() bool { return true }, false)
+	if st == Closed {
+		panic(errClosedDemand)
+	}
 	if node == nil {
 		return nil, true
 	}
@@ -72,8 +80,11 @@ func (t *QueueTicket[T]) TryFollowup() (T, bool) {
 		panic("core: follow-up on a spent ticket")
 	}
 	x := t.node.item.Load()
-	if x == t.e || x == t.q.canceled {
-		return zero, false // still pending (or aborted)
+	if x == t.e || t.q.isDead(x) {
+		// Still pending, aborted, or evicted by Close. A closed
+		// reservation never reports true; collect the Closed status
+		// with Await, which returns immediately.
+		return zero, false
 	}
 	t.done = true
 	t.q.finish(t.node, t.pred, x)
@@ -94,7 +105,7 @@ func (t *QueueTicket[T]) Await(deadline time.Time, cancel <-chan struct{}) (T, S
 	}
 	x, status := t.q.awaitFulfill(t.node, t.e, deadline, cancel)
 	t.done = true
-	if x == t.q.canceled {
+	if t.q.isDead(x) {
 		t.q.clean(t.pred, t.node)
 		return zero, status
 	}
@@ -109,12 +120,14 @@ func (t *QueueTicket[T]) Await(deadline time.Time, cancel <-chan struct{}) (T, S
 // reservation was canceled (the ticket is spent) and false if a
 // counterpart fulfilled it first — in which case the outcome must still be
 // collected with TryFollowup, exactly as in the paper's Listing 2, whose
-// abort path re-runs the follow-up.
+// abort path re-runs the follow-up. A reservation evicted by Close also
+// aborts successfully: no value was transferred.
 func (t *QueueTicket[T]) Abort() bool {
 	if t.done {
 		panic("core: abort of a spent ticket")
 	}
-	if t.node.item.CompareAndSwap(t.e, t.q.canceled) {
+	if t.node.item.CompareAndSwap(t.e, t.q.canceled) ||
+		t.node.item.Load() == t.q.closedSent {
 		t.done = true
 		t.q.clean(t.pred, t.node)
 		return true
@@ -161,8 +174,10 @@ func (t *StackTicket[T]) TryFollowup() (T, bool) {
 		panic("core: follow-up on a spent ticket")
 	}
 	m := t.node.match.Load()
-	if m == nil || m == t.node {
-		return zero, false // pending (or aborted)
+	if m == nil || m == t.node || m == t.q.closedMark {
+		// Pending, aborted, or evicted by Close; a closed reservation
+		// reports its Closed status through Await.
+		return zero, false
 	}
 	t.done = true
 	t.q.finishMatch(t.node)
@@ -182,7 +197,7 @@ func (t *StackTicket[T]) Await(deadline time.Time, cancel <-chan struct{}) (T, S
 	}
 	m, status := t.q.awaitFulfill(t.node, deadline, cancel)
 	t.done = true
-	if m == t.node {
+	if m == t.node || m == t.q.closedMark {
 		t.q.clean(t.node)
 		return zero, status
 	}
@@ -194,12 +209,15 @@ func (t *StackTicket[T]) Await(deadline time.Time, cancel <-chan struct{}) (T, S
 }
 
 // Abort attempts to cancel the reservation; false means a counterpart
-// matched it first and TryFollowup must be used to collect the outcome.
+// matched it first and TryFollowup must be used to collect the outcome. A
+// reservation evicted by Close also aborts successfully: no value was
+// transferred.
 func (t *StackTicket[T]) Abort() bool {
 	if t.done {
 		panic("core: abort of a spent ticket")
 	}
-	if t.node.match.CompareAndSwap(nil, t.node) {
+	if t.node.match.CompareAndSwap(nil, t.node) ||
+		t.node.match.Load() == t.q.closedMark {
 		t.done = true
 		t.q.clean(t.node)
 		return true

@@ -32,8 +32,9 @@ func (t *TransferQueue[T]) Metrics() *metrics.Handle { return t.q.Metrics() }
 
 // Put deposits v asynchronously: it hands v to a waiting consumer if one is
 // present and otherwise buffers it as a data node, returning immediately in
-// either case.
-func (t *TransferQueue[T]) Put(v T) { t.q.PutAsync(v) }
+// either case. It reports OK, or Closed when the queue has been shut down
+// (the deposit is refused).
+func (t *TransferQueue[T]) Put(v T) Status { return t.q.PutAsync(v) }
 
 // Transfer hands v to a consumer synchronously, waiting as long as
 // necessary for one to take it.
@@ -69,10 +70,22 @@ func (t *TransferQueue[T]) Poll() (T, bool) { return t.q.Poll() }
 // PollTimeout receives a value, waiting up to d.
 func (t *TransferQueue[T]) PollTimeout(d time.Duration) (T, bool) { return t.q.PollTimeout(d) }
 
+// Close shuts the queue down gracefully: every waiter (synchronous
+// producers in Transfer, consumers in Take) is woken and returns the
+// Closed status, and subsequent operations observe Closed. Data already
+// deposited asynchronously with Put is retained and remains available to
+// Poll and Drain — an accepted deposit is a promise the close keeps.
+// Close is idempotent and safe to call concurrently with any operation.
+func (t *TransferQueue[T]) Close() { t.q.Close() }
+
+// Closed reports whether Close has been called.
+func (t *TransferQueue[T]) Closed() bool { return t.q.Closed() }
+
 // Drain removes and returns every immediately available element —
 // buffered asynchronous deposits and waiting synchronous producers — in
 // FIFO order, without waiting for more. It is the bulk form of Poll,
-// useful at shutdown to recover undelivered messages.
+// useful at shutdown to recover undelivered messages: after Close, Drain
+// returns exactly the asynchronous deposits that no consumer took.
 func (t *TransferQueue[T]) Drain() []T {
 	var out []T
 	for {

@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"synchq/internal/fault"
 	"synchq/internal/metrics"
 	"synchq/internal/park"
 	"synchq/internal/spin"
@@ -75,12 +76,21 @@ type Exchanger[T any] struct {
 	asArena bool
 	// m receives the instrumentation counters; nil disables them.
 	m *metrics.Handle
+	// f injects deterministic faults at the CAS sites; nil disables.
+	f *fault.Injector
 }
 
 // SetMetrics attaches an instrumentation handle (nil disables) and returns
 // e for chaining. Call before the exchanger is shared between goroutines.
 func (e *Exchanger[T]) SetMetrics(h *metrics.Handle) *Exchanger[T] {
 	e.m = h
+	return e
+}
+
+// SetFault attaches a fault injector (nil disables) and returns e for
+// chaining. Call before the exchanger is shared between goroutines.
+func (e *Exchanger[T]) SetFault(f *fault.Injector) *Exchanger[T] {
+	e.f = f
 	return e
 }
 
@@ -166,6 +176,13 @@ func (e *Exchanger[T]) exchange(v *xbox[T], isData bool, deadline time.Time, can
 		cur := s.n.Load()
 		switch {
 		case cur == nil && idx == 0:
+			if e.f.FailCAS(fault.XSlotCAS) {
+				// Injected collision on the main slot: take the
+				// excursion arc a real lost claim would take.
+				e.m.Inc(metrics.CASFailEnqueue)
+				idx = e.outerSlot()
+				continue
+			}
 			if s.n.CompareAndSwap(nil, me) {
 				x, st := e.await(me, s, deadline, cancel)
 				if st == OK {
@@ -190,7 +207,14 @@ func (e *Exchanger[T]) exchange(v *xbox[T], isData bool, deadline time.Time, can
 			idx = 0
 		case !e.asArena || cur.isData != isData:
 			// Eligible partner: claim it and fulfill.
+			if e.f.FailCAS(fault.XFulfillCAS) {
+				// Injected lost claim: retry from a fresh look at
+				// the slot, as after a real loss.
+				e.m.Inc(metrics.CASFailFulfill)
+				continue
+			}
 			if s.n.CompareAndSwap(cur, nil) {
+				e.f.Preempt(fault.XFulfillPause)
 				if cur.hole.CompareAndSwap(nil, e.fulfillValue(v)) {
 					e.m.Inc(metrics.Fulfillments)
 					if p := cur.waiter.Load(); p != nil {
@@ -313,7 +337,7 @@ func (e *Exchanger[T]) await(me *xnode[T], s *slot[T], deadline time.Time, cance
 			continue
 		}
 		if p == nil {
-			p = park.NewMetered(e.m)
+			p = park.NewFaulty(e.m, e.f)
 			me.waiter.Store(p)
 			continue
 		}

@@ -1,0 +1,381 @@
+// Package fault is the deterministic fault-injection layer for the
+// synchronous queue implementations. The paper's algorithms live or die on
+// rare interleavings — a consumer canceling while it sits at the queue
+// head, a fulfilling stack node whose partner times out mid-annihilation —
+// and a load-only stress suite hits those windows by luck. An Injector
+// makes the windows wide and the schedules replayable: every labeled retry
+// site (the same sites internal/metrics already names) asks the injector
+// whether to simulate a lost CAS race, preempt at a linearization-critical
+// point, wake a parked waiter spuriously, or skew a timer, and the
+// injector answers from a seeded splitmix64 PRNG, so any failing schedule
+// reproduces exactly from its seed.
+//
+// The design mirrors internal/metrics' disabled-is-one-branch rule: every
+// method is safe on a nil *Injector and does nothing, so production code
+// pays exactly one predictable branch per hook when injection is off.
+//
+// Injection decisions are drawn from one shared atomic PRNG state. Under
+// concurrency the interleaving of draws is scheduler-dependent (the point
+// is to perturb real schedules), but a single-goroutine workload consumes
+// the stream in program order, which is what the replay tests assert:
+// same seed, same injected-event sequence.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Site names one injection point. Each CAS site corresponds to a retry arc
+// in the paper's pseudocode (see DESIGN.md for the line-by-line map); the
+// pause sites sit inside linearization-critical windows between two shared-
+// memory steps of one operation.
+type Site int
+
+const (
+	// QEnqueueCAS is the dual queue's tail-next insertion CAS (Listing 5
+	// line 13). An injected failure replays the lost-insertion-race arc.
+	QEnqueueCAS Site = iota
+	// QFulfillCAS is the dual queue's item fulfillment CAS on the node at
+	// head (Listing 5 line 28).
+	QFulfillCAS
+	// QCleanCAS is the dual queue's canceled-node unlink CAS (the cleanMe
+	// protocol's interior unsplice).
+	QCleanCAS
+	// QEnqueuePause preempts between winning the insertion CAS and
+	// swinging the tail, widening the lagging-tail window other threads
+	// must help across.
+	QEnqueuePause
+	// QFulfillPause preempts between winning the item CAS and waking the
+	// waiter — the classic lost-wakeup window.
+	QFulfillPause
+	// SPushCAS is the dual stack's head push CAS (Listing 6 line 11).
+	SPushCAS
+	// SFulfillCAS is the dual stack's fulfilling-node push CAS (Listing 6
+	// line 18).
+	SFulfillCAS
+	// SCleanCAS is the dual stack's canceled-node unsplice CAS.
+	SCleanCAS
+	// SFulfillPause preempts after pushing a fulfilling node and before
+	// matching it — the window in which other threads observe a
+	// fulfilling top and must take the helping path (Listing 6 lines
+	// 26–31).
+	SFulfillPause
+	// SHelpPause preempts on entry to the stack's helping branch.
+	SHelpPause
+	// XSlotCAS is the exchanger's arena slot claim CAS.
+	XSlotCAS
+	// XFulfillCAS is the exchanger's partner claim/hole CAS.
+	XFulfillCAS
+	// XFulfillPause preempts between claiming a partner's slot and
+	// filling its hole.
+	XFulfillPause
+	// ParkSpurious is a spurious unpark: park.Parker.Wait returns
+	// Unparked without a permit, forcing waiters to re-validate state.
+	ParkSpurious
+	// TimerSkew perturbs the duration handed to a timed park, modeling
+	// coarse or drifting timers.
+	TimerSkew
+
+	// NumSites is the number of injection sites.
+	NumSites
+)
+
+var siteNames = [NumSites]string{
+	QEnqueueCAS:   "q-enqueue-cas",
+	QFulfillCAS:   "q-fulfill-cas",
+	QCleanCAS:     "q-clean-cas",
+	QEnqueuePause: "q-enqueue-pause",
+	QFulfillPause: "q-fulfill-pause",
+	SPushCAS:      "s-push-cas",
+	SFulfillCAS:   "s-fulfill-cas",
+	SCleanCAS:     "s-clean-cas",
+	SFulfillPause: "s-fulfill-pause",
+	SHelpPause:    "s-help-pause",
+	XSlotCAS:      "x-slot-cas",
+	XFulfillCAS:   "x-fulfill-cas",
+	XFulfillPause: "x-fulfill-pause",
+	ParkSpurious:  "park-spurious",
+	TimerSkew:     "timer-skew",
+}
+
+// String returns the site's stable name.
+func (s Site) String() string {
+	if s < 0 || s >= NumSites {
+		return fmt.Sprintf("fault.Site(%d)", int(s))
+	}
+	return siteNames[s]
+}
+
+// Config tunes an Injector. Rates are per-query probabilities in [0, 1];
+// a zero rate disables that hook class entirely (and consumes no PRNG
+// draws, keeping disabled classes out of the replay stream).
+type Config struct {
+	// Seed seeds the splitmix64 stream. The same seed and the same
+	// (single-threaded) query sequence yield the same decisions.
+	Seed uint64
+	// FailCASRate is the probability that a FailCAS query simulates a
+	// lost CAS race.
+	FailCASRate float64
+	// PreemptRate is the probability that a Preempt query deschedules
+	// the caller (Gosched, occasionally a short sleep).
+	PreemptRate float64
+	// SpuriousWakeRate is the probability that a parked waiter is woken
+	// without a permit.
+	SpuriousWakeRate float64
+	// TimerSkewRate is the probability that a timed wait's duration is
+	// perturbed by up to ±MaxTimerSkew.
+	TimerSkewRate float64
+	// MaxTimerSkew bounds the perturbation magnitude; zero selects
+	// 200µs when TimerSkewRate is nonzero.
+	MaxTimerSkew time.Duration
+	// Budget, when positive, caps the total number of injected events;
+	// after the budget is spent the injector answers "no" everywhere.
+	// Essential for tests that force the first CAS at a site to fail
+	// with rate 1 and still need the retry to succeed.
+	Budget int64
+	// Sites, when non-empty, restricts injection to the listed sites.
+	Sites []Site
+	// Record enables the injected-event log read back by Events.
+	Record bool
+	// RecordLimit bounds the event log; zero selects 4096.
+	RecordLimit int
+	// PreemptFunc, when non-nil, replaces the default Gosched/sleep
+	// preemption. Deterministic tests use it as a gate: block the
+	// injected goroutine on a channel to hold an interleaving window
+	// open while the test probes it.
+	PreemptFunc func(Site)
+}
+
+// Injector answers injection queries from a seeded PRNG. A nil *Injector
+// is valid and injects nothing; create one with New or Chaos. An Injector
+// is safe for concurrent use.
+type Injector struct {
+	state atomic.Uint64 // splitmix64 state
+
+	seed         uint64
+	failCAS      uint64 // probability thresholds on the full uint64 range
+	preempt      uint64
+	spurious     uint64
+	timerSkew    uint64
+	maxSkew      time.Duration
+	siteMask     uint64 // bit i set = site i enabled
+	budgeted     bool
+	remaining    atomic.Int64
+	preemptFunc  func(Site)
+	counts       [NumSites]atomic.Int64
+	recordLimit  int
+	mu           sync.Mutex
+	events       []Site
+	recordActive bool
+}
+
+// threshold converts a probability to a uint64 comparison threshold.
+func threshold(rate float64) uint64 {
+	switch {
+	case rate <= 0:
+		return 0
+	case rate >= 1:
+		return math.MaxUint64
+	default:
+		return uint64(rate * float64(math.MaxUint64))
+	}
+}
+
+// New returns an Injector configured by cfg.
+func New(cfg Config) *Injector {
+	j := &Injector{
+		seed:         cfg.Seed,
+		failCAS:      threshold(cfg.FailCASRate),
+		preempt:      threshold(cfg.PreemptRate),
+		spurious:     threshold(cfg.SpuriousWakeRate),
+		timerSkew:    threshold(cfg.TimerSkewRate),
+		maxSkew:      cfg.MaxTimerSkew,
+		preemptFunc:  cfg.PreemptFunc,
+		recordActive: cfg.Record,
+		recordLimit:  cfg.RecordLimit,
+	}
+	j.state.Store(cfg.Seed)
+	if j.maxSkew <= 0 {
+		j.maxSkew = 200 * time.Microsecond
+	}
+	if j.recordLimit <= 0 {
+		j.recordLimit = 4096
+	}
+	if len(cfg.Sites) == 0 {
+		j.siteMask = math.MaxUint64
+	} else {
+		for _, s := range cfg.Sites {
+			j.siteMask |= 1 << uint(s)
+		}
+	}
+	if cfg.Budget > 0 {
+		j.budgeted = true
+		j.remaining.Store(cfg.Budget)
+	}
+	return j
+}
+
+// Chaos returns an Injector with the default chaos-mode rates: frequent
+// enough to force every retry arc during a short stress run, rare enough
+// that the structures still make progress.
+func Chaos(seed uint64) *Injector {
+	return New(Config{
+		Seed:             seed,
+		FailCASRate:      0.02,
+		PreemptRate:      0.005,
+		SpuriousWakeRate: 0.01,
+		TimerSkewRate:    0.05,
+	})
+}
+
+// next draws the next splitmix64 value. The additive state update is a
+// single atomic add, so concurrent callers each receive a distinct,
+// deterministic-by-interleaving value.
+func (j *Injector) next() uint64 {
+	z := j.state.Add(0x9E3779B97F4A7C15)
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+// fire decides whether to inject at site s with the given threshold, and
+// tallies/records the event when it does.
+func (j *Injector) fire(s Site, thresh uint64) bool {
+	if thresh == 0 || j.siteMask&(1<<uint(s)) == 0 {
+		return false
+	}
+	if j.next() > thresh {
+		return false
+	}
+	if j.budgeted && j.remaining.Add(-1) < 0 {
+		return false
+	}
+	j.counts[s].Add(1)
+	if j.recordActive {
+		j.mu.Lock()
+		if len(j.events) < j.recordLimit {
+			j.events = append(j.events, s)
+		}
+		j.mu.Unlock()
+	}
+	return true
+}
+
+// FailCAS reports whether the caller should treat its upcoming CAS as
+// lost without attempting it. Callers must take the same retry arc a real
+// lost race would take from a fresh snapshot — never a recovery path that
+// assumes the contended word actually changed. Nil-safe.
+func (j *Injector) FailCAS(s Site) bool {
+	if j == nil {
+		return false
+	}
+	return j.fire(s, j.failCAS)
+}
+
+// Preempt possibly deschedules the caller at a linearization-critical
+// point: usually a Gosched, occasionally a short sleep, or the
+// configured PreemptFunc. Nil-safe.
+func (j *Injector) Preempt(s Site) {
+	if j == nil || !j.fire(s, j.preempt) {
+		return
+	}
+	if j.preemptFunc != nil {
+		j.preemptFunc(s)
+		return
+	}
+	if j.next()&7 == 0 {
+		time.Sleep(50 * time.Microsecond)
+	} else {
+		runtime.Gosched()
+	}
+}
+
+// SpuriousWake reports whether a parked waiter should wake without a
+// permit. Waiters must re-validate their node and re-park. Nil-safe.
+func (j *Injector) SpuriousWake() bool {
+	if j == nil {
+		return false
+	}
+	return j.fire(ParkSpurious, j.spurious)
+}
+
+// SkewTimer possibly perturbs a timed wait's duration by up to
+// ±MaxTimerSkew. The result may be non-positive; timed waiters already
+// treat that as an expired timer and re-check the real clock. Nil-safe.
+func (j *Injector) SkewTimer(d time.Duration) time.Duration {
+	if j == nil || !j.fire(TimerSkew, j.timerSkew) {
+		return d
+	}
+	span := uint64(2*j.maxSkew + 1)
+	return d + time.Duration(j.next()%span) - j.maxSkew
+}
+
+// Seed returns the seed the injector was built with, for replay banners.
+func (j *Injector) Seed() uint64 {
+	if j == nil {
+		return 0
+	}
+	return j.seed
+}
+
+// Count returns the number of events injected at site s.
+func (j *Injector) Count(s Site) int64 {
+	if j == nil {
+		return 0
+	}
+	return j.counts[s].Load()
+}
+
+// Total returns the number of events injected across all sites.
+func (j *Injector) Total() int64 {
+	if j == nil {
+		return 0
+	}
+	var t int64
+	for i := range j.counts {
+		t += j.counts[i].Load()
+	}
+	return t
+}
+
+// Events returns a copy of the recorded injected-event sequence (nil
+// unless Config.Record was set). For single-goroutine workloads the
+// sequence is a deterministic function of the seed.
+func (j *Injector) Events() []Site {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]Site, len(j.events))
+	copy(out, j.events)
+	return out
+}
+
+// String renders the nonzero per-site injection counts ("quiet" when
+// nothing fired). Nil-safe.
+func (j *Injector) String() string {
+	if j == nil {
+		return "fault injection disabled"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d", j.seed)
+	for i := range j.counts {
+		if v := j.counts[i].Load(); v != 0 {
+			fmt.Fprintf(&b, " %s=%d", Site(i), v)
+		}
+	}
+	if j.Total() == 0 {
+		b.WriteString(" quiet")
+	}
+	return b.String()
+}

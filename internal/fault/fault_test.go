@@ -1,0 +1,146 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// drive runs a fixed single-goroutine query script against j and returns
+// the decisions made.
+func drive(j *Injector) []bool {
+	var out []bool
+	for i := 0; i < 400; i++ {
+		out = append(out, j.FailCAS(QEnqueueCAS))
+		out = append(out, j.FailCAS(SFulfillCAS))
+		out = append(out, j.SpuriousWake())
+		d := j.SkewTimer(time.Millisecond)
+		out = append(out, d != time.Millisecond)
+	}
+	return out
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var j *Injector
+	if j.FailCAS(QEnqueueCAS) || j.SpuriousWake() {
+		t.Fatal("nil injector injected")
+	}
+	j.Preempt(QFulfillPause)
+	if d := j.SkewTimer(time.Second); d != time.Second {
+		t.Fatalf("nil injector skewed timer: %v", d)
+	}
+	if j.Total() != 0 || j.Count(QEnqueueCAS) != 0 || j.Events() != nil || j.Seed() != 0 {
+		t.Fatal("nil injector reported state")
+	}
+	if j.String() != "fault injection disabled" {
+		t.Fatalf("nil String = %q", j.String())
+	}
+}
+
+func TestSameSeedSameDecisionSequence(t *testing.T) {
+	cfg := Config{Seed: 42, FailCASRate: 0.3, SpuriousWakeRate: 0.2, TimerSkewRate: 0.25, Record: true}
+	a := drive(New(cfg))
+	b := drive(New(cfg))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different decision sequences")
+	}
+	ea, eb := New(cfg), New(cfg)
+	drive(ea)
+	drive(eb)
+	if !reflect.DeepEqual(ea.Events(), eb.Events()) {
+		t.Fatal("same seed produced different event sequences")
+	}
+	if len(ea.Events()) == 0 {
+		t.Fatal("no events recorded at these rates")
+	}
+}
+
+func TestDifferentSeedDiverges(t *testing.T) {
+	a := drive(New(Config{Seed: 1, FailCASRate: 0.3}))
+	b := drive(New(Config{Seed: 2, FailCASRate: 0.3}))
+	if reflect.DeepEqual(a, b) {
+		t.Fatal("different seeds produced identical decision sequences")
+	}
+}
+
+func TestBudgetCapsInjection(t *testing.T) {
+	j := New(Config{Seed: 7, FailCASRate: 1, Budget: 3})
+	fired := 0
+	for i := 0; i < 100; i++ {
+		if j.FailCAS(QFulfillCAS) {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("fired %d times, want budget 3", fired)
+	}
+	if j.Total() != 3 {
+		t.Fatalf("Total = %d, want 3", j.Total())
+	}
+}
+
+func TestSiteFilter(t *testing.T) {
+	j := New(Config{Seed: 9, FailCASRate: 1, Sites: []Site{SPushCAS}})
+	if j.FailCAS(QEnqueueCAS) {
+		t.Fatal("filtered site fired")
+	}
+	if !j.FailCAS(SPushCAS) {
+		t.Fatal("enabled site did not fire at rate 1")
+	}
+	if j.Count(QEnqueueCAS) != 0 || j.Count(SPushCAS) != 1 {
+		t.Fatal("counts disagree with filter")
+	}
+}
+
+func TestPreemptFuncGate(t *testing.T) {
+	var hit []Site
+	j := New(Config{Seed: 3, PreemptRate: 1, PreemptFunc: func(s Site) { hit = append(hit, s) }})
+	j.Preempt(SFulfillPause)
+	j.Preempt(QFulfillPause)
+	want := []Site{SFulfillPause, QFulfillPause}
+	if !reflect.DeepEqual(hit, want) {
+		t.Fatalf("PreemptFunc saw %v, want %v", hit, want)
+	}
+}
+
+func TestSkewTimerBounded(t *testing.T) {
+	maxSkew := 100 * time.Microsecond
+	j := New(Config{Seed: 11, TimerSkewRate: 1, MaxTimerSkew: maxSkew})
+	base := 500 * time.Microsecond
+	for i := 0; i < 200; i++ {
+		d := j.SkewTimer(base)
+		if d < base-maxSkew || d > base+maxSkew {
+			t.Fatalf("skewed duration %v outside [%v, %v]", d, base-maxSkew, base+maxSkew)
+		}
+	}
+}
+
+func TestZeroRatesConsumeNoPRNG(t *testing.T) {
+	// A disabled hook class must not consume draws, or enabling one class
+	// would change another's replay stream.
+	a := New(Config{Seed: 5, FailCASRate: 0.5})
+	b := New(Config{Seed: 5, FailCASRate: 0.5, SpuriousWakeRate: 0})
+	var da, db []bool
+	for i := 0; i < 100; i++ {
+		b.SpuriousWake() // zero rate: must be a pure no-op
+		da = append(da, a.FailCAS(QEnqueueCAS))
+		db = append(db, b.FailCAS(QEnqueueCAS))
+	}
+	if !reflect.DeepEqual(da, db) {
+		t.Fatal("disabled hook class consumed PRNG draws")
+	}
+}
+
+func TestSiteStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for s := Site(0); s < NumSites; s++ {
+		n := s.String()
+		if n == "" || seen[n] {
+			t.Fatalf("site %d has empty or duplicate name %q", s, n)
+		}
+		seen[n] = true
+	}
+	if Site(-1).String() != "fault.Site(-1)" {
+		t.Fatalf("out-of-range name = %q", Site(-1).String())
+	}
+}

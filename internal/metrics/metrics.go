@@ -73,6 +73,10 @@ const (
 	// flushes and interior unlinks in the queue, head absorption and
 	// traversal unsplices in the stack.
 	CleanSweeps
+	// ClosedWakeups counts waiters woken with the Closed status by a
+	// graceful shutdown (Close), including waiters that detected the
+	// close themselves after racing an in-flight close sweep.
+	ClosedWakeups
 
 	// NumIDs is the number of counters in a Handle.
 	NumIDs
@@ -91,6 +95,7 @@ var names = [NumIDs]string{
 	Timeouts:       "timeouts",
 	Cancellations:  "cancellations",
 	CleanSweeps:    "clean-sweeps",
+	ClosedWakeups:  "closed-wakeups",
 }
 
 // String returns the counter's stable snake-ish name (used as expvar map

@@ -14,16 +14,18 @@ import (
 	"sync"
 	"time"
 
+	"synchq/internal/fault"
 	"synchq/internal/metrics"
 )
 
 // Parker blocks and unblocks a single goroutine with one-permit semantics.
-// A Parker must be created with New or NewMetered and must not be copied
-// after first use. Park and ParkTimeout may only be called by one goroutine
-// at a time (the owner); Unpark may be called by any goroutine.
+// A Parker must be created with New, NewMetered, or NewFaulty and must not
+// be copied after first use. Park and ParkTimeout may only be called by one
+// goroutine at a time (the owner); Unpark may be called by any goroutine.
 type Parker struct {
 	ch chan struct{}
 	m  *metrics.Handle
+	f  *fault.Injector
 }
 
 // New returns a Parker with no permit available.
@@ -35,6 +37,14 @@ func New() *Parker {
 // unparks on h. A nil h is valid and equivalent to New.
 func NewMetered(h *metrics.Handle) *Parker {
 	return &Parker{ch: make(chan struct{}, 1), m: h}
+}
+
+// NewFaulty returns a metered Parker whose Wait is additionally subject to
+// fault injection: spurious unparks (Wait returns Unparked without a
+// permit) and timer skew on deadline waits. Nil h and nil f are both valid;
+// NewFaulty(h, nil) is equivalent to NewMetered(h).
+func NewFaulty(h *metrics.Handle, f *fault.Injector) *Parker {
+	return &Parker{ch: make(chan struct{}, 1), m: h, f: f}
 }
 
 // Unpark makes the permit available, unblocking a current or future Park.

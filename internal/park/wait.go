@@ -22,6 +22,12 @@ const (
 // cancel channel fires, whichever comes first. A zero deadline means no
 // deadline; a nil cancel channel never fires. Wait(zero, nil) is equivalent
 // to Park.
+//
+// Under fault injection (NewFaulty) Wait may also return Unparked without
+// a permit (a spurious wakeup) or observe a skewed timer, so callers must
+// re-validate their wait condition on every Unparked return — which the
+// synchronous queue wait loops do anyway, since a real Unpark only signals
+// "look again".
 func (p *Parker) Wait(deadline time.Time, cancel <-chan struct{}) WaitResult {
 	// Fast path: permit already available.
 	select {
@@ -30,9 +36,13 @@ func (p *Parker) Wait(deadline time.Time, cancel <-chan struct{}) WaitResult {
 	default:
 	}
 
+	if p.f.SpuriousWake() {
+		return Unparked
+	}
+
 	var timerC <-chan time.Time
 	if !deadline.IsZero() {
-		d := time.Until(deadline)
+		d := p.f.SkewTimer(time.Until(deadline))
 		if d <= 0 {
 			return DeadlineExceeded
 		}

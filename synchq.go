@@ -9,8 +9,38 @@ import (
 )
 
 // ErrTimeout is returned by deadline-bounded operations whose patience
-// interval expired before a counterpart arrived.
+// interval expired before a counterpart arrived. It is distinct from
+// external cancellation: a context operation returns ErrTimeout only when
+// the context's own deadline ran out, and the context's cancellation cause
+// (context.Cause) otherwise.
 var ErrTimeout = errors.New("synchq: operation timed out")
+
+// ErrClosed is returned by error-reporting operations invoked on (or
+// waiting in) a queue that was shut down with Close. Demand operations
+// without an error return (Put, Take) panic instead, mirroring Go's
+// closed-channel semantics.
+var ErrClosed = errors.New("synchq: queue closed")
+
+// ctxError maps a non-OK status from a context-bounded operation to its
+// error, keeping deadline expiry and external cancellation distinct:
+// ErrTimeout means the patience ran out, while a canceled context reports
+// its cancellation cause (context.Cause: context.Canceled for a plain
+// cancel, or the cause handed to a CancelCauseFunc).
+func ctxError(ctx context.Context, st core.Status) error {
+	if st == core.Closed {
+		return ErrClosed
+	}
+	// Timeout and Canceled both mean the wait ended without a transfer,
+	// and the context's Done channel closes for deadline expiry just as
+	// for an explicit cancel — so the status alone cannot separate the
+	// two. The cause can: deadline expiry yields context.DeadlineExceeded,
+	// while an external cancel carries context.Canceled or the cause
+	// handed to the CancelCauseFunc.
+	if cause := context.Cause(ctx); cause != nil && !errors.Is(cause, context.DeadlineExceeded) {
+		return cause
+	}
+	return ErrTimeout
+}
 
 // Queue is the minimal synchronous hand-off interface: both operations
 // block until a counterpart arrives. Every implementation in this module
@@ -51,6 +81,8 @@ type impl[T any] interface {
 	IsEmpty() bool
 	ReserveTake() (T, core.Ticket[T], bool)
 	ReservePut(T) (core.Ticket[T], bool)
+	Close()
+	Closed() bool
 }
 
 // SynchronousQueue is a nonblocking, contention-free synchronous queue. It
@@ -146,42 +178,38 @@ func (q *SynchronousQueue[T]) PollTimeout(d time.Duration) (T, bool) {
 }
 
 // PutContext transfers v to a consumer, abandoning the attempt if ctx is
-// done first. It returns nil on success, ctx.Err() on cancellation, and
-// ErrTimeout if the context's deadline expired.
+// done first. It returns nil on success, ErrClosed if the queue is (or
+// becomes) closed, ErrTimeout if the context's own deadline expired, and
+// otherwise the context's cancellation cause (context.Cause: this is
+// context.Canceled for a plain cancel) — so callers can distinguish "ran
+// out of patience" from "told to stop" with errors.Is.
 func (q *SynchronousQueue[T]) PutContext(ctx context.Context, v T) error {
-	deadline, _ := ctx.Deadline()
-	switch q.impl.PutDeadline(v, deadline, ctx.Done()) {
-	case core.OK:
-		return nil
-	case core.Canceled:
-		return ctx.Err()
-	default:
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		return ErrTimeout
+	if q.impl.Closed() {
+		return ErrClosed
 	}
+	deadline, _ := ctx.Deadline()
+	st := q.impl.PutDeadline(v, deadline, ctx.Done())
+	if st == core.OK {
+		return nil
+	}
+	return ctxError(ctx, st)
 }
 
 // TakeContext receives a value, abandoning the attempt if ctx is done
-// first. It returns ctx.Err() on cancellation and ErrTimeout if the
-// context's deadline expired.
+// first. Errors follow the PutContext contract: ErrClosed on a closed
+// queue, ErrTimeout when the context's deadline expired, and the context's
+// cancellation cause when it was canceled externally.
 func (q *SynchronousQueue[T]) TakeContext(ctx context.Context) (T, error) {
+	var zero T
+	if q.impl.Closed() {
+		return zero, ErrClosed
+	}
 	deadline, _ := ctx.Deadline()
 	v, st := q.impl.TakeDeadline(deadline, ctx.Done())
-	switch st {
-	case core.OK:
+	if st == core.OK {
 		return v, nil
-	case core.Canceled:
-		var zero T
-		return zero, ctx.Err()
-	default:
-		var zero T
-		if err := ctx.Err(); err != nil {
-			return zero, err
-		}
-		return zero, ErrTimeout
 	}
+	return zero, ctxError(ctx, st)
 }
 
 // PollWait receives a value, waiting until a producer arrives, the deadline
@@ -215,3 +243,15 @@ func (q *SynchronousQueue[T]) HasWaitingProducer() bool { return q.impl.HasWaiti
 // IsEmpty reports whether the queue was observed with no waiting producers
 // or consumers.
 func (q *SynchronousQueue[T]) IsEmpty() bool { return q.impl.IsEmpty() }
+
+// Close shuts the queue down: every parked or spinning waiter is woken and
+// observes the closed state (blocking demand operations panic with
+// ErrClosed's message, exactly as a send on a closed channel panics;
+// status-reporting operations such as PutContext return ErrClosed), and
+// all subsequent operations are rejected the same way. Close is
+// idempotent, lock-free, and safe to call concurrently with any operation:
+// each in-flight hand-off either completes in both parties or in neither.
+func (q *SynchronousQueue[T]) Close() { q.impl.Close() }
+
+// Closed reports whether Close has been called.
+func (q *SynchronousQueue[T]) Closed() bool { return q.impl.Closed() }

@@ -31,8 +31,23 @@ func NewTransferQueue[T any](opts ...Option) *TransferQueue[T] {
 }
 
 // Put deposits v asynchronously: a waiting consumer receives it directly,
-// otherwise it is buffered in FIFO order. Put never blocks.
-func (t *TransferQueue[T]) Put(v T) { t.tq.Put(v) }
+// otherwise it is buffered in FIFO order. Put never blocks. Like a send on
+// a closed channel, Put panics if the queue is closed; use PutErr when the
+// queue may be shut down concurrently.
+func (t *TransferQueue[T]) Put(v T) {
+	if t.tq.Put(v) == core.Closed {
+		panic(ErrClosed.Error())
+	}
+}
+
+// PutErr is Put with the closed state reported as ErrClosed instead of a
+// panic, for producers racing a shutdown.
+func (t *TransferQueue[T]) PutErr(v T) error {
+	if t.tq.Put(v) == core.Closed {
+		return ErrClosed
+	}
+	return nil
+}
 
 // Transfer hands v to a consumer synchronously, waiting as long as
 // necessary for one to take it. Buffered elements deposited earlier with
@@ -48,43 +63,38 @@ func (t *TransferQueue[T]) TransferTimeout(v T, d time.Duration) bool {
 }
 
 // TransferContext hands v to a consumer, abandoning the attempt when ctx is
-// done. It returns nil on success, ctx.Err() on cancellation, and
-// ErrTimeout on deadline expiry.
+// done. It returns nil on success, ErrClosed if the queue is closed,
+// ErrTimeout when the context's own deadline expired, and otherwise the
+// context's cancellation cause (context.Canceled for a plain cancel).
 func (t *TransferQueue[T]) TransferContext(ctx context.Context, v T) error {
-	deadline, _ := ctx.Deadline()
-	switch t.tq.TransferDeadline(v, deadline, ctx.Done()) {
-	case core.OK:
-		return nil
-	case core.Canceled:
-		return ctx.Err()
-	default:
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		return ErrTimeout
+	if t.tq.Closed() {
+		return ErrClosed
 	}
+	deadline, _ := ctx.Deadline()
+	st := t.tq.TransferDeadline(v, deadline, ctx.Done())
+	if st == core.OK {
+		return nil
+	}
+	return ctxError(ctx, st)
 }
 
 // Take receives a value, waiting as long as necessary for one.
 func (t *TransferQueue[T]) Take() T { return t.tq.Take() }
 
 // TakeContext receives a value, abandoning the attempt when ctx is done.
+// Errors follow the TransferContext contract: ErrClosed on a closed queue,
+// ErrTimeout on deadline expiry, the cancellation cause otherwise.
 func (t *TransferQueue[T]) TakeContext(ctx context.Context) (T, error) {
+	var zero T
+	if t.tq.Closed() {
+		return zero, ErrClosed
+	}
 	deadline, _ := ctx.Deadline()
 	v, st := t.tq.TakeDeadline(deadline, ctx.Done())
-	switch st {
-	case core.OK:
+	if st == core.OK {
 		return v, nil
-	case core.Canceled:
-		var zero T
-		return zero, ctx.Err()
-	default:
-		var zero T
-		if err := ctx.Err(); err != nil {
-			return zero, err
-		}
-		return zero, ErrTimeout
 	}
+	return zero, ctxError(ctx, st)
 }
 
 // Poll receives a value only if one is immediately available (a waiting
@@ -115,3 +125,15 @@ func (t *TransferQueue[T]) HasWaitingConsumer() bool { return t.tq.HasWaitingCon
 // HasBufferedData reports whether asynchronously deposited elements were
 // observed waiting to be taken.
 func (t *TransferQueue[T]) HasBufferedData() bool { return t.tq.HasBufferedData() }
+
+// Close shuts the queue down: waiting synchronous producers and consumers
+// are woken and observe the closed state, and subsequent operations are
+// rejected with ErrClosed (or a panic, for the demand operations without an
+// error return). Elements already deposited asynchronously with Put are
+// retained — Poll and Drain still return them after Close, so no accepted
+// element is ever lost to a shutdown. Close is idempotent, lock-free, and
+// safe to call concurrently with any operation.
+func (t *TransferQueue[T]) Close() { t.tq.Close() }
+
+// Closed reports whether Close has been called.
+func (t *TransferQueue[T]) Closed() bool { return t.tq.Closed() }
