@@ -171,11 +171,18 @@ func TestTransferQueueCloseAndDrainPublic(t *testing.T) {
 		tq.Put(100)
 	}()
 
-	drained := tq.Drain()
-	if len(drained) != 4 {
-		t.Fatalf("Drain returned %d elements (%v), want the 4 undelivered deposits", len(drained), drained)
+	// An accepted deposit is a promise the close keeps: like Take and
+	// Poll, TakeContext still returns buffered elements after Close.
+	viaCtx, err := tq.TakeContext(context.Background())
+	if err != nil {
+		t.Fatalf("TakeContext on closed queue with buffered deposits: err = %v, want a value", err)
 	}
-	seen := map[int]bool{taken: true}
+
+	drained := tq.Drain()
+	if len(drained) != 3 {
+		t.Fatalf("Drain returned %d elements (%v), want the 3 undelivered deposits", len(drained), drained)
+	}
+	seen := map[int]bool{taken: true, viaCtx: true}
 	for _, v := range drained {
 		if seen[v] {
 			t.Errorf("value %d surfaced twice", v)

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"synchq/internal/fault"
 	"synchq/internal/metrics"
 	"synchq/internal/verify"
 )
@@ -363,4 +364,74 @@ func TestTicketCloseSemantics(t *testing.T) {
 			t.Error("Abort of a close-evicted reservation failed")
 		}
 	})
+}
+
+// TestReserveCloseRaceSelfEvicts pins the hardest close race for the
+// reservation API: the requester reads closed == false in the engage loop,
+// then Close sets the flag AND completes its entire eviction sweep before
+// the node's link/push CAS lands. The sweep cannot see the node, so only
+// the requester's post-link re-check can evict it; without that re-check
+// the ticket's unbounded Await parks forever. The q/s-close-race-pause
+// injection sites sit exactly in that window, and a scripted PreemptFunc
+// holds it open while the test runs Close to completion.
+func TestReserveCloseRaceSelfEvicts(t *testing.T) {
+	type reserver interface {
+		ReserveTake() (int, Ticket[int], bool)
+		ReservePut(int) (Ticket[int], bool)
+		Close()
+	}
+	makers := []struct {
+		name string
+		site fault.Site
+		new  func(f *fault.Injector) reserver
+	}{
+		{"queue", fault.QCloseRacePause,
+			func(f *fault.Injector) reserver { return NewDualQueue[int](WaitConfig{Fault: f}) }},
+		{"stack", fault.SCloseRacePause,
+			func(f *fault.Injector) reserver { return NewDualStack[int](WaitConfig{Fault: f}) }},
+	}
+	ops := []struct {
+		name    string
+		reserve func(q reserver) (Ticket[int], bool)
+	}{
+		{"take", func(q reserver) (Ticket[int], bool) { _, tk, ok := q.ReserveTake(); return tk, ok }},
+		{"put", func(q reserver) (Ticket[int], bool) { return q.ReservePut(9) }},
+	}
+	for _, mk := range makers {
+		for _, op := range ops {
+			t.Run(mk.name+"-"+op.name, func(t *testing.T) {
+				gate := make(chan struct{})
+				entered := make(chan struct{}, 1)
+				inj := fault.New(fault.Config{
+					Seed:        1,
+					PreemptRate: 1,
+					Budget:      1,
+					Sites:       []fault.Site{mk.site},
+					PreemptFunc: func(fault.Site) { entered <- struct{}{}; <-gate },
+				})
+				q := mk.new(inj)
+				res := make(chan Status, 1)
+				go func() {
+					tk, ok := op.reserve(q)
+					if ok {
+						res <- OK // paired immediately; impossible here but not a hang
+						return
+					}
+					_, st := tk.Await(time.Time{}, nil)
+					res <- st
+				}()
+				<-entered // closed observed false; node not yet linked
+				q.Close() // flag set and sweep fully done before the link CAS
+				close(gate)
+				select {
+				case st := <-res:
+					if st != Closed {
+						t.Fatalf("Await = %v, want Closed", st)
+					}
+				case <-time.After(10 * time.Second):
+					t.Fatal("reservation stranded: Await never returned after Close raced the insert")
+				}
+			})
+		}
+	}
 }

@@ -72,8 +72,9 @@ func (s Status) String() string {
 // reservation request operations) invoked on a closed structure, which
 // have no status channel to report Closed through — the analogue of Go's
 // "send on closed channel" panic. Status-returning operations report
-// Closed instead of panicking.
-const errClosedDemand = "synchq: operation on closed queue"
+// Closed instead of panicking. The text deliberately matches the public
+// package's ErrClosed message so every closed-queue panic reads the same.
+const errClosedDemand = "synchq: queue closed"
 
 // WaitConfig tunes the waiting policy of a synchronous queue. The zero
 // value selects the paper's defaults: spin briefly before parking on

@@ -187,6 +187,10 @@ func (q *DualQueue[T]) engage(e *qitem[T], canWait func() bool, async bool) (imm
 				s = &qnode[T]{isData: isData, async: async}
 				s.item.Store(e)
 			}
+			// The closed check above and the link CAS below bracket the
+			// enqueue-vs-sweep race: Close may run entirely in between,
+			// and only the caller's post-link re-check can then evict s.
+			q.f.Preempt(fault.QCloseRacePause)
 			if q.f.FailCAS(fault.QEnqueueCAS) || !t.next.CompareAndSwap(nil, s) {
 				q.m.Inc(metrics.CASFailEnqueue)
 				continue // lost insertion race

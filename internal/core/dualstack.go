@@ -141,6 +141,14 @@ func (q *DualStack[T]) engage(e *qitem[T], mode uint8) (*qitem[T], *snode[T]) {
 	if st == Closed {
 		panic(errClosedDemand)
 	}
+	if s != nil && q.closed.Load() {
+		// Close may have raced our push and finished its eviction
+		// sweep before the node was visible; self-evict (as transfer
+		// does) so the reservation is never stranded. If a fulfiller
+		// matched us first the CAS fails and the ticket completes
+		// normally; otherwise Await reports Closed and Abort succeeds.
+		s.match.CompareAndSwap(nil, q.closedMark)
+	}
 	return imm, s
 }
 
@@ -178,6 +186,10 @@ func (q *DualStack[T]) engageWait(e *qitem[T], mode uint8, canWait func() bool) 
 				s.item.Store(e)
 			}
 			s.next.Store(h)
+			// The closed check above and the push CAS below bracket the
+			// push-vs-sweep race: Close may run entirely in between, and
+			// only the caller's post-push re-check can then evict s.
+			q.f.Preempt(fault.SCloseRacePause)
 			if q.f.FailCAS(fault.SPushCAS) || !q.head.CompareAndSwap(h, s) {
 				q.m.Inc(metrics.CASFailEnqueue)
 				continue // lost push race

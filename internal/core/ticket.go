@@ -48,6 +48,14 @@ func (q *DualQueue[T]) TakeReserve() (T, *QueueTicket[T], bool) {
 	if node == nil {
 		return imm.v, nil, true
 	}
+	if q.closed.Load() {
+		// Close may have raced our enqueue and finished its eviction
+		// sweep before the node was linked; self-evict (as transfer
+		// does) so the reservation is never stranded. If a fulfiller
+		// got here first the CAS fails and the ticket completes
+		// normally; otherwise Await reports Closed and Abort succeeds.
+		node.item.CompareAndSwap(nil, q.closedSent)
+	}
 	var zero T
 	return zero, &QueueTicket[T]{q: q, node: node, pred: pred, e: nil}, false
 }
@@ -64,6 +72,11 @@ func (q *DualQueue[T]) PutReserve(v T) (*QueueTicket[T], bool) {
 	}
 	if node == nil {
 		return nil, true
+	}
+	if q.closed.Load() {
+		// Same enqueue-vs-sweep window as TakeReserve: self-evict so
+		// the offer is never stranded by a Close that missed it.
+		node.item.CompareAndSwap(e, q.closedSent)
 	}
 	return &QueueTicket[T]{q: q, node: node, pred: pred, e: e}, false
 }

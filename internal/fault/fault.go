@@ -75,6 +75,14 @@ const (
 	// XFulfillPause preempts between claiming a partner's slot and
 	// filling its hole.
 	XFulfillPause
+	// QCloseRacePause preempts the dual queue's enqueue arm between
+	// reading closed == false and linking the new node — the window in
+	// which Close can complete its eviction sweep before the node is
+	// reachable, so only the enqueuer's post-link re-check can evict it.
+	QCloseRacePause
+	// SCloseRacePause is the same window in the dual stack's push arm:
+	// between the closed check and the head push CAS.
+	SCloseRacePause
 	// ParkSpurious is a spurious unpark: park.Parker.Wait returns
 	// Unparked without a permit, forcing waiters to re-validate state.
 	ParkSpurious
@@ -87,21 +95,23 @@ const (
 )
 
 var siteNames = [NumSites]string{
-	QEnqueueCAS:   "q-enqueue-cas",
-	QFulfillCAS:   "q-fulfill-cas",
-	QCleanCAS:     "q-clean-cas",
-	QEnqueuePause: "q-enqueue-pause",
-	QFulfillPause: "q-fulfill-pause",
-	SPushCAS:      "s-push-cas",
-	SFulfillCAS:   "s-fulfill-cas",
-	SCleanCAS:     "s-clean-cas",
-	SFulfillPause: "s-fulfill-pause",
-	SHelpPause:    "s-help-pause",
-	XSlotCAS:      "x-slot-cas",
-	XFulfillCAS:   "x-fulfill-cas",
-	XFulfillPause: "x-fulfill-pause",
-	ParkSpurious:  "park-spurious",
-	TimerSkew:     "timer-skew",
+	QEnqueueCAS:     "q-enqueue-cas",
+	QFulfillCAS:     "q-fulfill-cas",
+	QCleanCAS:       "q-clean-cas",
+	QEnqueuePause:   "q-enqueue-pause",
+	QFulfillPause:   "q-fulfill-pause",
+	SPushCAS:        "s-push-cas",
+	SFulfillCAS:     "s-fulfill-cas",
+	SCleanCAS:       "s-clean-cas",
+	SFulfillPause:   "s-fulfill-pause",
+	SHelpPause:      "s-help-pause",
+	XSlotCAS:        "x-slot-cas",
+	XFulfillCAS:     "x-fulfill-cas",
+	XFulfillPause:   "x-fulfill-pause",
+	QCloseRacePause: "q-close-race-pause",
+	SCloseRacePause: "s-close-race-pause",
+	ParkSpurious:    "park-spurious",
+	TimerSkew:       "timer-skew",
 }
 
 // String returns the site's stable name.

@@ -83,12 +83,12 @@ func (t *TransferQueue[T]) Take() T { return t.tq.Take() }
 
 // TakeContext receives a value, abandoning the attempt when ctx is done.
 // Errors follow the TransferContext contract: ErrClosed on a closed queue,
-// ErrTimeout on deadline expiry, the cancellation cause otherwise.
+// ErrTimeout on deadline expiry, the cancellation cause otherwise. Like
+// Take and Poll, TakeContext still returns elements deposited with Put
+// before Close — an accepted deposit is a promise the close keeps — and
+// reports ErrClosed only once the buffer is empty.
 func (t *TransferQueue[T]) TakeContext(ctx context.Context) (T, error) {
 	var zero T
-	if t.tq.Closed() {
-		return zero, ErrClosed
-	}
 	deadline, _ := ctx.Deadline()
 	v, st := t.tq.TakeDeadline(deadline, ctx.Done())
 	if st == core.OK {
