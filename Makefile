@@ -1,8 +1,8 @@
 # Tier-1 gate: everything `make check` runs must pass before a change
 # lands. CI and the pre-merge driver run exactly this target.
-.PHONY: check vet build test race bench-overhead stress chaos chaos-short
+.PHONY: check vet build test race bench-overhead bench-smoke stress chaos chaos-short
 
-check: vet build test race chaos-short
+check: vet build test race bench-smoke chaos-short
 
 vet:
 	go vet ./...
@@ -22,6 +22,13 @@ race:
 # Paired-handoff cost of the instrumentation layer, disabled vs enabled.
 bench-overhead:
 	go test -run - -bench MetricsOverhead -count 5 ./internal/core/
+
+# Allocation smoke gate: the budget test fails if a steady-state hand-off
+# exceeds one allocation per operation per side, and the short benchmark
+# run prints the allocs/op figures for eyeballing regressions.
+bench-smoke:
+	go test -run TestHandoffAllocBudget -count 1 ./internal/core/
+	go test -run - -bench BenchmarkHandoffAllocs -benchtime 100x -benchmem ./internal/core/
 
 # Quick instrumented stress pass across every timed algorithm.
 stress:

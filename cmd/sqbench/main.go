@@ -49,6 +49,7 @@ func main() {
 		chart     = flag.Bool("chart", false, "emit ASCII bar charts instead of tables")
 		speedup   = flag.String("speedup", "", "append a speedup table relative to the named series (e.g. \"SynchronousQueue\")")
 		metricsF  = flag.Bool("metrics", false, "append, for live figures 3-5, the instrumented-counter table (CAS failures, spins, parks, unparks, cleaning sweeps per 1000 transfers) recorded alongside throughput")
+		jsonF     = flag.Bool("json", false, "run the hand-off allocation benchmark and emit its JSON report (BENCH_handoff.json) to stdout instead of a figure")
 		quiet     = flag.Bool("quiet", false, "suppress progress output on stderr")
 		procs     = flag.Int("procs", 0, "GOMAXPROCS for the run; 0 selects max(NumCPU, 8) so that the paper's contention regime is reproduced even on small hosts")
 		simProcs  = flag.Int("simprocs", 16, "simulated processors for -figure sim3")
@@ -65,6 +66,17 @@ func main() {
 	runtime.GOMAXPROCS(p)
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "sqbench: GOMAXPROCS=%d (NumCPU=%d)\n", p, runtime.NumCPU())
+	}
+
+	if *jsonF {
+		report := bench.HandoffAllocs(*transfers)
+		out, err := report.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sqbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s\n", out)
+		return
 	}
 
 	var lv []int

@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"encoding/json"
+	"runtime"
+	"time"
+
+	"synchq/internal/core"
+	"synchq/internal/exchanger"
+)
+
+// This file measures the allocation cost of the hand-off hot path — the
+// figure the node/box pooling, embedded parkers, and channel-free parking
+// exist to drive down. Unlike the throughput figures it reports allocs and
+// bytes per paired Put/Take, measured from the runtime's global allocation
+// counters so both sides of the pair are charged.
+
+// AllocResult is one algorithm's steady-state hand-off allocation cost.
+type AllocResult struct {
+	Algo          string  `json:"algo"`
+	Pairs         int64   `json:"pairs"`
+	AllocsPerPair float64 `json:"allocs_per_pair"`
+	AllocsPerSide float64 `json:"allocs_per_op_per_side"`
+	BytesPerPair  float64 `json:"bytes_per_pair"`
+	NsPerPair     float64 `json:"ns_per_pair"`
+}
+
+// AllocReport is the JSON document emitted by sqbench -json.
+type AllocReport struct {
+	Benchmark  string        `json:"benchmark"`
+	Pairs      int64         `json:"pairs"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Results    []AllocResult `json:"results"`
+}
+
+// runPairs drives `pairs` paired hand-offs: a partner goroutine takes while
+// the caller puts.
+func runPairs(q SQ, pairs int64) {
+	done := make(chan struct{})
+	go func() {
+		for i := int64(0); i < pairs; i++ {
+			q.Take()
+		}
+		close(done)
+	}()
+	for i := int64(0); i < pairs; i++ {
+		q.Put(i)
+	}
+	<-done
+}
+
+// measureAllocs reports the per-pair allocation cost of q over `pairs`
+// hand-offs, after a warm-up that primes the recycling pools. The global
+// malloc counters include the partner goroutine's allocations (and a few
+// fixed-cost ones for the harness channel and goroutine), so the figure is
+// the whole pair's cost, amortized.
+func measureAllocs(name string, q SQ, pairs int64) AllocResult {
+	runPairs(q, 512) // warm the pools past the cold-start allocations
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	t0 := time.Now()
+	runPairs(q, pairs)
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&after)
+
+	perPair := float64(after.Mallocs-before.Mallocs) / float64(pairs)
+	return AllocResult{
+		Algo:          name,
+		Pairs:         pairs,
+		AllocsPerPair: perPair,
+		AllocsPerSide: perPair / 2,
+		BytesPerPair:  float64(after.TotalAlloc-before.TotalAlloc) / float64(pairs),
+		NsPerPair:     float64(elapsed.Nanoseconds()) / float64(pairs),
+	}
+}
+
+// exchangerSQ adapts the exchanger to the SQ pairing surface: a put brings
+// a value, a take brings the zero value and keeps the partner's.
+type exchangerSQ struct{ e *exchanger.Exchanger[int64] }
+
+func (s exchangerSQ) Put(v int64) { s.e.Exchange(v) }
+func (s exchangerSQ) Take() int64 { return s.e.Exchange(0) }
+
+// transferSQ drives the TransferQueue's synchronous face.
+type transferSQ struct{ q *core.TransferQueue[int64] }
+
+func (s transferSQ) Put(v int64) { s.q.Transfer(v) }
+func (s transferSQ) Take() int64 { return s.q.Take() }
+
+// HandoffAllocs measures the steady-state hand-off allocation cost of the
+// three dual structures and the exchanger under the default wait policy.
+func HandoffAllocs(pairs int64) AllocReport {
+	if pairs <= 0 {
+		pairs = 50000
+	}
+	results := []AllocResult{
+		measureAllocs("DualQueue", core.NewDualQueue[int64](core.WaitConfig{}), pairs),
+		measureAllocs("DualStack", core.NewDualStack[int64](core.WaitConfig{}), pairs),
+		measureAllocs("TransferQueue", transferSQ{core.NewTransferQueue[int64](core.WaitConfig{})}, pairs),
+		measureAllocs("Exchanger", exchangerSQ{exchanger.New[int64]()}, pairs),
+	}
+	return AllocReport{
+		Benchmark:  "handoff-allocs",
+		Pairs:      pairs,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Results:    results,
+	}
+}
+
+// JSON renders the report with stable formatting (no timestamp, sorted
+// fields as declared) so committed artifacts diff cleanly across runs.
+func (r AllocReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}

@@ -99,6 +99,19 @@ type WaitConfig struct {
 	Fault *fault.Injector
 }
 
+// calibrator returns the adaptive spin calibrator for the zero-value spin
+// policy, or nil when either budget was set explicitly (an explicit budget
+// — including the "disable spinning" negatives — pins the static policy).
+// With a calibrator attached the structure's wait loops consult it instead
+// of the resolved static budgets, and feed every fulfilled wait back into
+// it.
+func (c WaitConfig) calibrator() *spin.Calibrator {
+	if c.TimedSpins != 0 || c.UntimedSpins != 0 {
+		return nil
+	}
+	return spin.NewCalibrator()
+}
+
 // resolve returns the effective spin budgets.
 func (c WaitConfig) resolve() (timed, untimed int) {
 	timed, untimed = c.TimedSpins, c.UntimedSpins

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -19,10 +20,20 @@ import (
 //
 //	data node:    item: &v ──taken──▶ nil        or ──canceled/closed──▶ sentinel
 //	request node: item: nil ──filled──▶ &v       or ──canceled/closed──▶ sentinel
+//
+// wp is the waiter's embedded parker: the waiter initializes it in place and
+// publishes it through the waiter word, so the steady park/unpark handshake
+// allocates nothing beyond the node itself. A node that has been linked into
+// the list is reclaimed only by the garbage collector — never pooled — because
+// stale traversers (losing fulfillers, helpers, cleaners, the close sweep)
+// may still hold its address for head/next CASes, and address reuse would
+// reintroduce exactly the ABA those CASes rely on pointer identity to avoid
+// (see DESIGN.md "Node and parker lifecycle").
 type qnode[T any] struct {
 	next   atomic.Pointer[qnode[T]]
 	item   atomic.Pointer[qitem[T]]
 	waiter atomic.Pointer[park.Parker]
+	wp     park.Parker
 	isData bool
 	// async marks a data node deposited without a waiting producer (the
 	// TransferQueue extension). Close leaves async nodes in place so
@@ -30,13 +41,20 @@ type qnode[T any] struct {
 	async bool
 }
 
-// qitem boxes a transferred value. The trailing pad guarantees every
-// allocation a unique address even when T is zero-sized (new(struct{})
-// aliases a single runtime address), so pointer identity against the
-// queue's cancellation sentinel is always meaningful.
+// qitem boxes a transferred value. The pooled flag doubles as the padding
+// byte that guarantees every allocation a unique address even when T is
+// zero-sized (new(struct{}) aliases a single runtime address), so pointer
+// identity against the queue's cancellation sentinel is always meaningful.
+//
+// Boxes with pooled set circulate through the queue's item pool: unlike the
+// nodes, an item box is ABA-safe to recycle because item words only ever
+// move away from a box, never back to it (nil→&v→sentinel for requests,
+// &v→nil→sentinel for data), and only the single receiver that won the CAS
+// dereferences it. The sentinels and any caller-visible boxes are created
+// without the flag and are never pooled.
 type qitem[T any] struct {
-	v T
-	_ byte
+	v      T
+	pooled bool
 }
 
 // DualQueue is the paper's fair synchronous queue: a nonblocking,
@@ -64,8 +82,17 @@ type DualQueue[T any] struct {
 	// waiters once it is set.
 	closed atomic.Bool
 
+	// ipool recycles pooled item boxes (see qitem); npool recycles spare
+	// nodes that lost their insertion race and were never linked — the
+	// only nodes whose address provably reached no other thread.
+	ipool sync.Pool
+	npool sync.Pool
+
 	timedSpins   int
 	untimedSpins int
+	// cal, when non-nil, adapts the spin budgets at runtime (zero-value
+	// WaitConfig); explicit budgets pin the static policy instead.
+	cal *spin.Calibrator
 	// m receives the instrumentation counters; nil disables them.
 	m *metrics.Handle
 	// f injects deterministic faults at the labeled sites; nil disables.
@@ -77,6 +104,7 @@ type DualQueue[T any] struct {
 func NewDualQueue[T any](cfg WaitConfig) *DualQueue[T] {
 	q := &DualQueue[T]{canceled: new(qitem[T]), closedSent: new(qitem[T]), m: cfg.Metrics, f: cfg.Fault}
 	q.timedSpins, q.untimedSpins = cfg.resolve()
+	q.cal = cfg.calibrator()
 	dummy := &qnode[T]{}
 	q.head.Store(dummy)
 	q.tail.Store(dummy)
@@ -85,6 +113,55 @@ func NewDualQueue[T any](cfg WaitConfig) *DualQueue[T] {
 
 // Metrics returns the queue's instrumentation handle (nil when disabled).
 func (q *DualQueue[T]) Metrics() *metrics.Handle { return q.m }
+
+// getBox returns an item box holding v, recycled from the item pool when
+// possible.
+func (q *DualQueue[T]) getBox(v T) *qitem[T] {
+	if x, _ := q.ipool.Get().(*qitem[T]); x != nil {
+		q.m.Inc(metrics.NodeReuses)
+		x.v = v
+		return x
+	}
+	q.m.Inc(metrics.NodeAllocs)
+	return &qitem[T]{v: v, pooled: true}
+}
+
+// putBox recycles an item box whose value has been consumed (or never
+// transferred). Only boxes the queue itself issued are pooled — the pooled
+// flag excludes the sentinels and embedded or caller-built boxes — and the
+// value is scrubbed first so the pool never retains user data.
+func (q *DualQueue[T]) putBox(x *qitem[T]) {
+	if x == nil || !x.pooled {
+		return
+	}
+	var zero T
+	x.v = zero
+	q.ipool.Put(x)
+}
+
+// getNode returns a fresh or recycled waiting node. Pooled nodes are spares
+// that were never linked (see putSpare), so their parker and link words are
+// pristine.
+func (q *DualQueue[T]) getNode(isData, async bool) *qnode[T] {
+	if n, _ := q.npool.Get().(*qnode[T]); n != nil {
+		q.m.Inc(metrics.NodeReuses)
+		n.isData, n.async = isData, async
+		return n
+	}
+	q.m.Inc(metrics.NodeAllocs)
+	return &qnode[T]{isData: isData, async: async}
+}
+
+// putSpare recycles a node that was NEVER linked into the list — the
+// engage loop built it, then completed through the fulfill arm instead.
+// Such a node's address was never published (the insertion CAS that would
+// have published it failed), so no other thread can hold a stale pointer
+// to it and reuse is ABA-free; linked nodes must never come here. The item
+// word is scrubbed so the pool retains no reference to a value box.
+func (q *DualQueue[T]) putSpare(s *qnode[T]) {
+	s.item.Store(nil)
+	q.npool.Put(s)
+}
 
 // isDead reports whether an observed item value is one of the two
 // abandonment sentinels (canceled or evicted by Close).
@@ -107,23 +184,42 @@ func (q *DualQueue[T]) advanceHead(h, nh *qnode[T]) bool {
 // by advanceHead).
 func isOffList[T any](n *qnode[T]) bool { return n.next.Load() == n }
 
-// transfer is the shared engine for put and take: e non-nil transfers a
-// datum in, e nil transfers one out (the two operations are symmetric, as
-// the paper observes). A zero deadline waits forever; an expired deadline
+// transfer is the shared engine for put and take: isData true transfers v
+// in, isData false transfers a value out (the two operations are symmetric,
+// as the paper observes). A zero deadline waits forever; an expired deadline
 // makes the operation a pure offer/poll. If async is true a data node is
 // deposited without waiting for a consumer (the paper's TransferQueue
-// extension). On success the returned pointer is the transferred datum for
-// takes and e for puts.
-func (q *DualQueue[T]) transfer(e *qitem[T], deadline time.Time, cancel <-chan struct{}, async bool) (*qitem[T], Status) {
+// extension). On success the returned value is the transferred datum for
+// takes and v echoed back for puts.
+//
+// Box ownership: a datum rides in a pooled item box obtained here. Whichever
+// side ends up reading the value out of a pooled box — the taker, for both
+// queue orientations — recycles it; a datum that never transferred (timeout,
+// cancel, close, refused engage) is reclaimed by its producer.
+func (q *DualQueue[T]) transfer(isData bool, v T, deadline time.Time, cancel <-chan struct{}, async bool) (T, Status) {
+	var zero T
+	var e *qitem[T]
+	if isData {
+		e = q.getBox(v)
+	}
 	canWait := func() bool {
 		return async || deadline.IsZero() || time.Now().Before(deadline)
 	}
 	imm, s, pred, st := q.engage(e, canWait, async)
 	if st != OK {
-		return nil, st
+		q.putBox(e) // the datum never entered the structure
+		return zero, st
 	}
 	if s == nil {
-		return imm, OK // completed immediately (fulfilled a waiter, or async deposit)
+		// Completed immediately: fulfilled a waiter, or async deposit.
+		// For a take, imm is the counterpart's box — consume and
+		// recycle it. For a put (and an async deposit) the box now
+		// belongs to its eventual taker.
+		if !isData {
+			v = imm.v
+			q.putBox(imm)
+		}
+		return v, OK
 	}
 
 	if q.closed.Load() {
@@ -136,13 +232,18 @@ func (q *DualQueue[T]) transfer(e *qitem[T], deadline time.Time, cancel <-chan s
 	x, status := q.awaitFulfill(s, e, deadline, cancel)
 	if q.isDead(x) {
 		q.clean(pred, s)
-		return nil, status
+		q.putBox(e) // abandoned put: the datum never transferred
+		return zero, status
 	}
 	q.finish(s, pred, x)
 	if x != nil {
-		return x, OK
+		// Fulfilled take: x is the putter's box; consume and recycle.
+		// (finish already swung our item word off x, so the retired
+		// dummy does not pin the recycled box.)
+		v = x.v
+		q.putBox(x)
 	}
-	return e, OK
+	return v, OK
 }
 
 // engage is the lock-free half of a transfer (the paper's request
@@ -177,14 +278,20 @@ func (q *DualQueue[T]) engage(e *qitem[T], canWait func() bool, async bool) (imm
 				// async deposits are refused). Checked before
 				// canWait so a poll on a closed empty queue
 				// reports Closed, not Timeout.
+				if s != nil {
+					q.putSpare(s) // built on an earlier lap, never linked
+				}
 				return nil, nil, nil, Closed
 			}
 			if !canWait() {
 				q.m.Inc(metrics.Timeouts)
+				if s != nil {
+					q.putSpare(s) // built on an earlier lap, never linked
+				}
 				return nil, nil, nil, Timeout // can't wait
 			}
 			if s == nil {
-				s = &qnode[T]{isData: isData, async: async}
+				s = q.getNode(isData, async)
 				s.item.Store(e)
 			}
 			// The closed check above and the link CAS below bracket the
@@ -234,6 +341,12 @@ func (q *DualQueue[T]) engage(e *qitem[T], canWait func() bool, async bool) (imm
 		if p := m.waiter.Load(); p != nil {
 			p.Unpark()
 		}
+		if s != nil {
+			// The spare built for the enqueue arm was never linked
+			// (its insertion CAS failed or was never attempted):
+			// recycle it.
+			q.putSpare(s)
+		}
 		if x != nil {
 			return x, nil, nil, OK
 		}
@@ -256,19 +369,29 @@ func (q *DualQueue[T]) finish(s, pred *qnode[T], x *qitem[T]) {
 }
 
 // awaitFulfill waits (spin-then-park) until node s is fulfilled or
-// canceled, returning the observed item and, if canceled, why.
+// canceled, returning the observed item and, if canceled, why. The parker
+// is the node's own (wp), initialized in place and published through the
+// waiter word, so entering the slow path allocates nothing; fulfilled waits
+// feed the adaptive spin calibrator when one is attached.
 func (q *DualQueue[T]) awaitFulfill(s *qnode[T], e *qitem[T], deadline time.Time, cancel <-chan struct{}) (*qitem[T], Status) {
 	spins := 0
 	if q.head.Load().next.Load() == s {
 		// Only the node next in line for fulfillment spins; deeper
 		// nodes park immediately (§Pragmatics).
-		if deadline.IsZero() {
+		if q.cal != nil {
+			if deadline.IsZero() {
+				spins = q.cal.Untimed()
+			} else {
+				spins = q.cal.Timed()
+			}
+		} else if deadline.IsZero() {
 			spins = q.untimedSpins
 		} else {
 			spins = q.timedSpins
 		}
 	}
-	var p *park.Parker
+	armed := false  // wp initialized and published
+	parked := false // entered at least one slow-path wait
 	status := Timeout
 	spun := int64(0) // spins batched locally; one Add on exit keeps the hot loop free of atomics
 	for i := 0; ; i++ {
@@ -286,6 +409,10 @@ func (q *DualQueue[T]) awaitFulfill(s *qnode[T], e *qitem[T], deadline time.Time
 					q.m.Inc(metrics.Timeouts)
 				}
 				return x, status
+			}
+			if q.cal != nil {
+				q.cal.Observe(int(spun), parked)
+				q.m.Set(metrics.SpinBudget, int64(q.cal.Untimed()))
 			}
 			return x, OK
 		}
@@ -309,12 +436,14 @@ func (q *DualQueue[T]) awaitFulfill(s *qnode[T], e *qitem[T], deadline time.Time
 			spin.Pause(i)
 			continue
 		}
-		if p == nil {
-			p = park.NewFaulty(q.m, q.f)
-			s.waiter.Store(p)
+		if !armed {
+			s.wp.Init(q.m, q.f)
+			s.waiter.Store(&s.wp)
+			armed = true
 			continue // re-check item before first park
 		}
-		switch p.Wait(deadline, cancel) {
+		parked = true
+		switch s.wp.Wait(deadline, cancel) {
 		case park.Unparked:
 			// Re-read item.
 		case park.DeadlineExceeded:
@@ -459,7 +588,7 @@ func (q *DualQueue[T]) Closed() bool { return q.closed.Load() }
 // arrive. Put panics if the queue is closed while waiting (or was already
 // closed), since it has no status channel to report Closed through.
 func (q *DualQueue[T]) Put(v T) {
-	if _, st := q.transfer(&qitem[T]{v: v}, time.Time{}, nil, false); st == Closed {
+	if _, st := q.transfer(true, v, time.Time{}, nil, false); st == Closed {
 		panic(errClosedDemand)
 	}
 }
@@ -467,20 +596,20 @@ func (q *DualQueue[T]) Put(v T) {
 // PutDeadline transfers v to a consumer, giving up at the deadline (zero
 // means never) or when cancel fires (nil means never).
 func (q *DualQueue[T]) PutDeadline(v T, deadline time.Time, cancel <-chan struct{}) Status {
-	_, st := q.transfer(&qitem[T]{v: v}, deadline, cancel, false)
+	_, st := q.transfer(true, v, deadline, cancel, false)
 	return st
 }
 
 // Offer transfers v only if a consumer is already waiting; it reports
 // whether the transfer happened.
 func (q *DualQueue[T]) Offer(v T) bool {
-	_, st := q.transfer(&qitem[T]{v: v}, deadlineFor(0), nil, false)
+	_, st := q.transfer(true, v, deadlineFor(0), nil, false)
 	return st == OK
 }
 
 // OfferTimeout transfers v, waiting up to d for a consumer.
 func (q *DualQueue[T]) OfferTimeout(v T, d time.Duration) bool {
-	_, st := q.transfer(&qitem[T]{v: v}, deadlineFor(d), nil, false)
+	_, st := q.transfer(true, v, deadlineFor(d), nil, false)
 	return st == OK
 }
 
@@ -489,7 +618,7 @@ func (q *DualQueue[T]) OfferTimeout(v T, d time.Duration) bool {
 // It reports OK, or Closed when the queue has been shut down (the deposit
 // is refused so closed queues cannot accumulate unreachable data).
 func (q *DualQueue[T]) PutAsync(v T) Status {
-	_, st := q.transfer(&qitem[T]{v: v}, time.Time{}, nil, true)
+	_, st := q.transfer(true, v, time.Time{}, nil, true)
 	return st
 }
 
@@ -497,43 +626,30 @@ func (q *DualQueue[T]) PutAsync(v T) Status {
 // one to arrive. Take panics if the queue is closed while waiting (or was
 // already closed), rather than inventing a zero value.
 func (q *DualQueue[T]) Take() T {
-	x, st := q.transfer(nil, time.Time{}, nil, false)
+	v, st := q.transfer(false, *new(T), time.Time{}, nil, false)
 	if st == Closed {
 		panic(errClosedDemand)
 	}
-	return x.v
+	return v
 }
 
 // TakeDeadline receives a value, giving up at the deadline (zero means
 // never) or when cancel fires (nil means never).
 func (q *DualQueue[T]) TakeDeadline(deadline time.Time, cancel <-chan struct{}) (T, Status) {
-	x, st := q.transfer(nil, deadline, cancel, false)
-	if st != OK {
-		var zero T
-		return zero, st
-	}
-	return x.v, OK
+	return q.transfer(false, *new(T), deadline, cancel, false)
 }
 
 // Poll receives a value only if a producer is already waiting (or a datum
 // was deposited asynchronously).
 func (q *DualQueue[T]) Poll() (T, bool) {
-	x, st := q.transfer(nil, deadlineFor(0), nil, false)
-	if st != OK {
-		var zero T
-		return zero, false
-	}
-	return x.v, true
+	v, st := q.transfer(false, *new(T), deadlineFor(0), nil, false)
+	return v, st == OK
 }
 
 // PollTimeout receives a value, waiting up to d for a producer.
 func (q *DualQueue[T]) PollTimeout(d time.Duration) (T, bool) {
-	x, st := q.transfer(nil, deadlineFor(d), nil, false)
-	if st != OK {
-		var zero T
-		return zero, false
-	}
-	return x.v, true
+	v, st := q.transfer(false, *new(T), deadlineFor(d), nil, false)
+	return v, st == OK
 }
 
 // observe classifies the queue's current content. The answer may be stale

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -24,12 +25,25 @@ const (
 // pointer: a fulfiller CASes it from nil to itself; a waiter that times out
 // CASes it from nil to the node itself (self-match means canceled), and a
 // close sweep CASes it from nil to the stack's closed sentinel. item is
-// boxed (qitem) so the ticket API can share value plumbing with the queue.
+// boxed (qitem) so the ticket API can share value plumbing with the queue;
+// unlike the queue's circulating boxes, a stack node's datum rides in the
+// node's own embedded box, stored into item before the publishing push.
+//
+// wp is the embedded parker, initialized in place by awaitFulfill, and box
+// the embedded item box, so a push-and-wait allocates only the node itself.
+// A node that has been linked into the stack (its push CAS succeeded) is
+// reclaimed only by the garbage collector — never pooled — because stale
+// traversers (helpers, cleaners, losing fulfillers, the close sweep) may
+// still hold its address for head/next/match CASes, and address reuse would
+// reintroduce exactly the ABA those CASes rely on pointer identity to avoid
+// (see DESIGN.md "Node and parker lifecycle").
 type snode[T any] struct {
 	next   atomic.Pointer[snode[T]]
 	match  atomic.Pointer[snode[T]]
 	waiter atomic.Pointer[park.Parker]
 	item   atomic.Pointer[qitem[T]]
+	wp     park.Parker
+	box    qitem[T]
 	mode   uint8
 }
 
@@ -68,8 +82,16 @@ type DualStack[T any] struct {
 	// waiters once it is set.
 	closed atomic.Bool
 
+	// npool recycles spare nodes that lost their push race and were never
+	// linked — the only nodes whose address provably reached no other
+	// thread.
+	npool sync.Pool
+
 	timedSpins   int
 	untimedSpins int
+	// cal, when non-nil, adapts the spin budgets at runtime (zero-value
+	// WaitConfig); explicit budgets pin the static policy instead.
+	cal *spin.Calibrator
 	// m receives the instrumentation counters; nil disables them.
 	m *metrics.Handle
 	// f injects deterministic faults at the labeled sites; nil disables.
@@ -81,11 +103,43 @@ type DualStack[T any] struct {
 func NewDualStack[T any](cfg WaitConfig) *DualStack[T] {
 	s := &DualStack[T]{closedMark: &snode[T]{}, m: cfg.Metrics, f: cfg.Fault}
 	s.timedSpins, s.untimedSpins = cfg.resolve()
+	s.cal = cfg.calibrator()
 	return s
 }
 
 // Metrics returns the stack's instrumentation handle (nil when disabled).
 func (q *DualStack[T]) Metrics() *metrics.Handle { return q.m }
+
+// getNode returns a fresh or recycled node with the given mode, its datum
+// box empty. Pooled nodes are spares that were never linked (see putSpare),
+// so their match, waiter and parker words are pristine.
+func (q *DualStack[T]) getNode(mode uint8) *snode[T] {
+	if n, _ := q.npool.Get().(*snode[T]); n != nil {
+		q.m.Inc(metrics.NodeReuses)
+		n.mode = mode
+		return n
+	}
+	q.m.Inc(metrics.NodeAllocs)
+	return &snode[T]{mode: mode}
+}
+
+// putSpare recycles a node that was NEVER linked into the stack — its push
+// CAS failed, or the engage loop completed through another arm before
+// attempting it. Such a node's address was never published, so no other
+// thread can hold a stale pointer to it and reuse is ABA-free; linked nodes
+// must never come here. The link word and the embedded box are scrubbed so
+// the pool retains neither stack references nor user values. Nil-safe, so
+// call sites can hand over a maybe-built spare unconditionally.
+func (q *DualStack[T]) putSpare(s *snode[T]) {
+	if s == nil {
+		return
+	}
+	s.next.Store(nil)
+	s.item.Store(nil)
+	var zero T
+	s.box.v = zero
+	q.npool.Put(s)
+}
 
 // isDead reports whether node n has been abandoned — canceled
 // (self-matched) or evicted by Close (matched with the closed sentinel) —
@@ -95,20 +149,24 @@ func (q *DualStack[T]) isDead(n *snode[T]) bool {
 	return m == n || m == q.closedMark
 }
 
-// transfer is the shared engine for put and take (Listing 6): e non-nil
-// pushes a datum, e nil pushes a request. A zero deadline waits forever; an
-// expired deadline makes the operation a pure offer/poll.
-func (q *DualStack[T]) transfer(e *qitem[T], deadline time.Time, cancel <-chan struct{}) (*qitem[T], Status) {
+// transfer is the shared engine for put and take (Listing 6): isData true
+// pushes the datum v, isData false pushes a request. A zero deadline waits
+// forever; an expired deadline makes the operation a pure offer/poll. On
+// success the returned value is the transferred datum for takes (the zero
+// value for puts). The datum rides in the waiting or fulfilling node's
+// embedded box, so no separate box circulates.
+func (q *DualStack[T]) transfer(isData bool, v T, deadline time.Time, cancel <-chan struct{}) (T, Status) {
+	var zero T
 	mode := modeRequest
-	if e != nil {
+	if isData {
 		mode = modeData
 	}
 	canWait := func() bool {
 		return deadline.IsZero() || time.Now().Before(deadline)
 	}
-	imm, s, st := q.engageWait(e, mode, canWait)
+	imm, s, st := q.engageWait(v, mode, canWait)
 	if st != OK {
-		return nil, st
+		return zero, st
 	}
 	if s == nil {
 		return imm, OK // fulfilled a waiting counterpart directly
@@ -124,20 +182,20 @@ func (q *DualStack[T]) transfer(e *qitem[T], deadline time.Time, cancel <-chan s
 	m, status := q.awaitFulfill(s, deadline, cancel)
 	if m == s || m == q.closedMark {
 		q.clean(s)
-		return nil, status // canceled or evicted by Close
+		return zero, status // canceled or evicted by Close
 	}
 	q.finishMatch(s)
 	if mode == modeRequest {
-		return m.item.Load(), OK
+		return m.item.Load().v, OK
 	}
-	return s.item.Load(), OK
+	return zero, OK
 }
 
 // engage is engageWait with unconditional waiting, for the ticket API. It
 // panics on a closed stack (the reservation request operations have no
 // status channel to report Closed through).
-func (q *DualStack[T]) engage(e *qitem[T], mode uint8) (*qitem[T], *snode[T]) {
-	imm, s, st := q.engageWait(e, mode, func() bool { return true })
+func (q *DualStack[T]) engage(v T, mode uint8) (T, *snode[T]) {
+	imm, s, st := q.engageWait(v, mode, func() bool { return true })
 	if st == Closed {
 		panic(errClosedDemand)
 	}
@@ -154,10 +212,18 @@ func (q *DualStack[T]) engage(e *qitem[T], mode uint8) (*qitem[T], *snode[T]) {
 
 // engageWait is the lock-free half of a transfer: it either completes
 // immediately by annihilating with a complementary node (returning the
-// exchanged item, node nil) or pushes a waiting node s for the caller to
+// exchanged value, node nil) or pushes a waiting node s for the caller to
 // await. canWait is consulted at the moment pushing becomes necessary.
-func (q *DualStack[T]) engageWait(e *qitem[T], mode uint8, canWait func() bool) (*qitem[T], *snode[T], Status) {
-	var s *snode[T]
+//
+// The waiting node s and the fulfilling node f are each built at most once
+// and carried across retry laps. Either may be recycled through the spare
+// pool at any exit where it was never linked; f, however, is abandoned to
+// the garbage collector the moment its push succeeds — helpers observed its
+// address, so reusing it could match a later wait against a stale helper's
+// CAS (the same position ABA the queue's doctrine forbids).
+func (q *DualStack[T]) engageWait(v T, mode uint8, canWait func() bool) (T, *snode[T], Status) {
+	var zero T
+	var s, f *snode[T] // hoisted spares; never linked while held here
 
 	for {
 		h := q.head.Load()
@@ -169,7 +235,9 @@ func (q *DualStack[T]) engageWait(e *qitem[T], mode uint8, canWait func() bool) 
 				// Shut down: nothing may wait. Checked before
 				// canWait so a poll on a closed empty stack
 				// reports Closed, not Timeout.
-				return nil, nil, Closed
+				q.putSpare(s)
+				q.putSpare(f)
+				return zero, nil, Closed
 			}
 			if !canWait() {
 				if h != nil && q.isDead(h) {
@@ -179,11 +247,16 @@ func (q *DualStack[T]) engageWait(e *qitem[T], mode uint8, canWait func() bool) 
 					continue // retire canceled top, retry
 				}
 				q.m.Inc(metrics.Timeouts)
-				return nil, nil, Timeout // can't wait
+				q.putSpare(s)
+				q.putSpare(f)
+				return zero, nil, Timeout // can't wait
 			}
 			if s == nil {
-				s = &snode[T]{mode: mode}
-				s.item.Store(e)
+				s = q.getNode(mode)
+				if mode == modeData {
+					s.box.v = v
+					s.item.Store(&s.box)
+				}
 			}
 			s.next.Store(h)
 			// The closed check above and the push CAS below bracket the
@@ -194,7 +267,8 @@ func (q *DualStack[T]) engageWait(e *qitem[T], mode uint8, canWait func() bool) 
 				q.m.Inc(metrics.CASFailEnqueue)
 				continue // lost push race
 			}
-			return nil, s, OK
+			q.putSpare(f) // fulfill spare from an earlier lap, never linked
+			return zero, s, OK
 
 		case h.mode&modeFulfilling == 0:
 			// Complementary node on top: push a fulfilling node
@@ -205,8 +279,13 @@ func (q *DualStack[T]) engageWait(e *qitem[T], mode uint8, canWait func() bool) 
 				}
 				continue
 			}
-			f := &snode[T]{mode: mode | modeFulfilling}
-			f.item.Store(e)
+			if f == nil {
+				f = q.getNode(mode | modeFulfilling)
+				if mode == modeData {
+					f.box.v = v
+					f.item.Store(&f.box)
+				}
+			}
 			f.next.Store(h)
 			if q.f.FailCAS(fault.SFulfillCAS) || !q.head.CompareAndSwap(h, f) {
 				q.m.Inc(metrics.CASFailFulfill)
@@ -226,10 +305,11 @@ func (q *DualStack[T]) engageWait(e *qitem[T], mode uint8, canWait func() bool) 
 				if tryMatch(m, f) {
 					q.m.Inc(metrics.Fulfillments)
 					q.head.CompareAndSwap(f, mn) // pop both
+					q.putSpare(s)                // push spare, never linked
 					if mode == modeRequest {
-						return m.item.Load(), nil, OK
+						return m.item.Load().v, nil, OK
 					}
-					return f.item.Load(), nil, OK
+					return zero, nil, OK
 				}
 				// m was canceled under us: unlink it and try
 				// the next waiter down.
@@ -238,6 +318,11 @@ func (q *DualStack[T]) engageWait(e *qitem[T], mode uint8, canWait func() bool) 
 					q.m.Inc(metrics.CleanSweeps)
 				}
 			}
+			// f was published at the top of the stack: helpers may
+			// hold its address, so it is tainted for reuse — leave
+			// it to the garbage collector and build a fresh one if
+			// another fulfill lap is needed.
+			f = nil
 
 		default:
 			// Top is another thread's fulfilling node: help it
@@ -272,17 +357,27 @@ func (q *DualStack[T]) finishMatch(s *snode[T]) {
 
 // awaitFulfill waits (spin-then-park) until node s is matched or canceled.
 // It returns the match; a self-match means canceled, with status saying
-// why.
+// why. The parker is the node's own (wp), initialized in place and
+// published through the waiter word, so entering the slow path allocates
+// nothing; fulfilled waits feed the adaptive spin calibrator when one is
+// attached.
 func (q *DualStack[T]) awaitFulfill(s *snode[T], deadline time.Time, cancel <-chan struct{}) (*snode[T], Status) {
 	spins := 0
 	if q.shouldSpin(s) {
-		if deadline.IsZero() {
+		if q.cal != nil {
+			if deadline.IsZero() {
+				spins = q.cal.Untimed()
+			} else {
+				spins = q.cal.Timed()
+			}
+		} else if deadline.IsZero() {
 			spins = q.untimedSpins
 		} else {
 			spins = q.timedSpins
 		}
 	}
-	var p *park.Parker
+	armed := false  // wp initialized and published
+	parked := false // entered at least one slow-path wait
 	status := Timeout
 	spun := int64(0) // spins batched locally; one Add on exit keeps the hot loop free of atomics
 	for i := 0; ; i++ {
@@ -299,6 +394,10 @@ func (q *DualStack[T]) awaitFulfill(s *snode[T], deadline time.Time, cancel <-ch
 					q.m.Inc(metrics.Timeouts)
 				}
 				return m, status
+			}
+			if q.cal != nil {
+				q.cal.Observe(int(spun), parked)
+				q.m.Set(metrics.SpinBudget, int64(q.cal.Untimed()))
 			}
 			return m, OK
 		}
@@ -329,12 +428,14 @@ func (q *DualStack[T]) awaitFulfill(s *snode[T], deadline time.Time, cancel <-ch
 			spins = 0
 			continue
 		}
-		if p == nil {
-			p = park.NewFaulty(q.m, q.f)
-			s.waiter.Store(p)
+		if !armed {
+			s.wp.Init(q.m, q.f)
+			s.waiter.Store(&s.wp)
+			armed = true
 			continue // re-check match before first park
 		}
-		switch p.Wait(deadline, cancel) {
+		parked = true
+		switch s.wp.Wait(deadline, cancel) {
 		case park.Unparked:
 			// Re-read match.
 		case park.DeadlineExceeded:
@@ -362,6 +463,12 @@ func (q *DualStack[T]) shouldSpin(s *snode[T]) bool {
 func (q *DualStack[T]) clean(s *snode[T]) {
 	s.item.Store(nil)
 	s.waiter.Store(nil)
+	// Scrub the abandoned datum so the dead node, which may linger linked
+	// until a later sweep, does not pin the caller's value. Safe because
+	// the self-match (or eviction) CAS already won: no fulfiller will
+	// read this box.
+	var zero T
+	s.box.v = zero
 
 	past := s.next.Load()
 	if past != nil && q.isDead(past) {
@@ -427,7 +534,7 @@ func (q *DualStack[T]) Closed() bool { return q.closed.Load() }
 // arrive. Put panics if the stack is closed while waiting (or was already
 // closed), since it has no status channel to report Closed through.
 func (q *DualStack[T]) Put(v T) {
-	if _, st := q.transfer(&qitem[T]{v: v}, time.Time{}, nil); st == Closed {
+	if _, st := q.transfer(true, v, time.Time{}, nil); st == Closed {
 		panic(errClosedDemand)
 	}
 }
@@ -435,19 +542,19 @@ func (q *DualStack[T]) Put(v T) {
 // PutDeadline transfers v to a consumer, giving up at the deadline (zero
 // means never) or when cancel fires (nil means never).
 func (q *DualStack[T]) PutDeadline(v T, deadline time.Time, cancel <-chan struct{}) Status {
-	_, st := q.transfer(&qitem[T]{v: v}, deadline, cancel)
+	_, st := q.transfer(true, v, deadline, cancel)
 	return st
 }
 
 // Offer transfers v only if a consumer is already waiting.
 func (q *DualStack[T]) Offer(v T) bool {
-	_, st := q.transfer(&qitem[T]{v: v}, deadlineFor(0), nil)
+	_, st := q.transfer(true, v, deadlineFor(0), nil)
 	return st == OK
 }
 
 // OfferTimeout transfers v, waiting up to d for a consumer.
 func (q *DualStack[T]) OfferTimeout(v T, d time.Duration) bool {
-	_, st := q.transfer(&qitem[T]{v: v}, deadlineFor(d), nil)
+	_, st := q.transfer(true, v, deadlineFor(d), nil)
 	return st == OK
 }
 
@@ -455,42 +562,29 @@ func (q *DualStack[T]) OfferTimeout(v T, d time.Duration) bool {
 // one to arrive. Take panics if the stack is closed while waiting (or was
 // already closed), rather than inventing a zero value.
 func (q *DualStack[T]) Take() T {
-	x, st := q.transfer(nil, time.Time{}, nil)
+	v, st := q.transfer(false, *new(T), time.Time{}, nil)
 	if st == Closed {
 		panic(errClosedDemand)
 	}
-	return x.v
+	return v
 }
 
 // TakeDeadline receives a value, giving up at the deadline (zero means
 // never) or when cancel fires (nil means never).
 func (q *DualStack[T]) TakeDeadline(deadline time.Time, cancel <-chan struct{}) (T, Status) {
-	x, st := q.transfer(nil, deadline, cancel)
-	if st != OK {
-		var zero T
-		return zero, st
-	}
-	return x.v, OK
+	return q.transfer(false, *new(T), deadline, cancel)
 }
 
 // Poll receives a value only if a producer is already waiting.
 func (q *DualStack[T]) Poll() (T, bool) {
-	x, st := q.transfer(nil, deadlineFor(0), nil)
-	if st != OK {
-		var zero T
-		return zero, false
-	}
-	return x.v, true
+	v, st := q.transfer(false, *new(T), deadlineFor(0), nil)
+	return v, st == OK
 }
 
 // PollTimeout receives a value, waiting up to d for a producer.
 func (q *DualStack[T]) PollTimeout(d time.Duration) (T, bool) {
-	x, st := q.transfer(nil, deadlineFor(d), nil)
-	if st != OK {
-		var zero T
-		return zero, false
-	}
-	return x.v, true
+	v, st := q.transfer(false, *new(T), deadlineFor(d), nil)
+	return v, st == OK
 }
 
 // observe classifies the stack's current content (tests/monitoring only).

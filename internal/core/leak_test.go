@@ -122,6 +122,132 @@ func TestDualQueueCleanMeChain(t *testing.T) {
 	}
 }
 
+// leakProbe allocates a value with a finalizer and returns it plus a
+// channel closed when the collector reclaims it.
+func leakProbe() (*[]byte, chan struct{}) {
+	collected := make(chan struct{})
+	v := &[]byte{1, 2, 3}
+	runtime.SetFinalizer(v, func(*[]byte) { close(collected) })
+	return v, collected
+}
+
+// expectCollected GCs until the probe's finalizer runs, failing if the value
+// stays reachable — which, with the structure still alive, means a pool (or
+// lingering node) retained the user's value.
+func expectCollected(t *testing.T, what string, collected chan struct{}) {
+	t.Helper()
+	for i := 0; i < 50; i++ {
+		runtime.GC()
+		select {
+		case <-collected:
+			return
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	t.Fatalf("%s still reachable after GC: a pool or dead node retains the user value", what)
+}
+
+// TestDualQueuePoolsRetainNoUserValues proves the scrubbing half of the
+// recycling doctrine end to end: values that traveled through pooled item
+// boxes — a completed hand-off (the taker recycles the producer's box) and
+// an abandoned offer (the producer reclaims its own box) — must become
+// garbage once the operations finish, even though the boxes themselves stay
+// cached in the live queue's pool.
+func TestDualQueuePoolsRetainNoUserValues(t *testing.T) {
+	q := NewDualQueue[*[]byte](WaitConfig{})
+
+	transferred, c1 := leakProbe()
+	done := make(chan struct{})
+	go func() { q.Put(transferred); close(done) }()
+	if got := q.Take(); got != transferred {
+		t.Fatal("Take returned a different value than Put sent")
+	}
+	<-done
+
+	abandoned, c2 := leakProbe()
+	if q.OfferTimeout(abandoned, time.Millisecond) {
+		t.Fatal("offer on an empty queue unexpectedly matched")
+	}
+
+	transferred, abandoned = nil, nil
+	expectCollected(t, "transferred value", c1)
+	expectCollected(t, "abandoned offer's value", c2)
+	q.Offer(nil) // keep q alive past the GC loop, and prove it still works
+}
+
+// TestDualStackDeadNodesRetainNoUserValues is the stack-side scrub proof:
+// an abandoned datum rides in its node's embedded box, and clean zeroes it,
+// so the value is collectable even while the dead node itself lingers (it
+// may stay linked as debris until a later sweep, and Go's GC offers no
+// finalizer-like hook for when that happens).
+func TestDualStackDeadNodesRetainNoUserValues(t *testing.T) {
+	q := NewDualStack[*[]byte](WaitConfig{})
+
+	transferred, c1 := leakProbe()
+	done := make(chan struct{})
+	go func() { q.Put(transferred); close(done) }()
+	if got := q.Take(); got != transferred {
+		t.Fatal("Take returned a different value than Put sent")
+	}
+	<-done
+
+	// Bury an abandoned offer beneath a live waiter so its node plausibly
+	// lingers linked; the embedded box must be scrubbed regardless.
+	abandoned, c2 := leakProbe()
+	if q.OfferTimeout(abandoned, time.Millisecond) {
+		t.Fatal("offer on an empty stack unexpectedly matched")
+	}
+
+	transferred, abandoned = nil, nil
+	expectCollected(t, "transferred value", c1)
+	expectCollected(t, "abandoned offer's value", c2)
+	q.Offer(nil)
+}
+
+// TestPoolScrubbingWhitebox checks the scrub invariants at the pool
+// boundary directly: nothing enters a pool still referencing user data or
+// stack/queue links. These invariants are what make the close-sentinel and
+// cancellation logic sound across recycling — item words are compared
+// against sentinel pointers by identity, so a recycled box or spare that
+// leaked an old reference could alias a live comparison.
+func TestPoolScrubbingWhitebox(t *testing.T) {
+	v := new(int)
+
+	q := NewDualQueue[*int](WaitConfig{})
+	b := q.getBox(v)
+	q.putBox(b)
+	if b.v != nil {
+		t.Error("queue putBox left the user value in the pooled box")
+	}
+	n := q.getNode(true, false)
+	n.item.Store(b)
+	q.putSpare(n)
+	if n.item.Load() != nil {
+		t.Error("queue putSpare left the item pointer in the pooled spare")
+	}
+
+	s := NewDualStack[*int](WaitConfig{})
+	sn := s.getNode(modeData)
+	sn.box.v = v
+	sn.item.Store(&sn.box)
+	sn.next.Store(&snode[*int]{})
+	s.putSpare(sn)
+	if sn.box.v != nil || sn.item.Load() != nil || sn.next.Load() != nil {
+		t.Error("stack putSpare left value or links in the pooled spare")
+	}
+
+	// clean must scrub a dead node's embedded box even though the node
+	// itself is never pooled.
+	dead := s.getNode(modeData)
+	dead.box.v = v
+	dead.item.Store(&dead.box)
+	dead.match.Store(dead) // self-matched: canceled
+	s.clean(dead)
+	if dead.box.v != nil {
+		t.Error("stack clean left the user value in the dead node's box")
+	}
+}
+
 func TestDualStackCancellationBurstThenUse(t *testing.T) {
 	// Mirror of the cleanMe chain test for the stack: a live producer is
 	// buried under a burst of canceled offers; takes must skip the debris

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is on. Under -race,
+// sync.Pool deliberately drops a quarter of Puts (see sync/pool.go), so
+// tests asserting that a specific single Put is later reused must retry.
+const raceEnabled = true

@@ -46,7 +46,10 @@ func (q *DualQueue[T]) TakeReserve() (T, *QueueTicket[T], bool) {
 		panic(errClosedDemand)
 	}
 	if node == nil {
-		return imm.v, nil, true
+		// Consume the delivered value and recycle the fulfiller's box.
+		v := imm.v
+		q.putBox(imm)
+		return v, nil, true
 	}
 	if q.closed.Load() {
 		// Close may have raced our enqueue and finished its eviction
@@ -65,9 +68,10 @@ func (q *DualQueue[T]) TakeReserve() (T, *QueueTicket[T], bool) {
 // a nil ticket; otherwise ok is false and the ticket tracks the pending
 // offer. PutReserve panics if the queue is closed.
 func (q *DualQueue[T]) PutReserve(v T) (*QueueTicket[T], bool) {
-	e := &qitem[T]{v: v}
+	e := q.getBox(v)
 	_, node, pred, st := q.engage(e, func() bool { return true }, false)
 	if st == Closed {
+		q.putBox(e)
 		panic(errClosedDemand)
 	}
 	if node == nil {
@@ -102,9 +106,13 @@ func (t *QueueTicket[T]) TryFollowup() (T, bool) {
 	t.done = true
 	t.q.finish(t.node, t.pred, x)
 	if x != nil {
-		return x.v, true // take ticket: the delivered value
+		// Take ticket: consume the delivered value and recycle the
+		// fulfiller's box.
+		v := x.v
+		t.q.putBox(x)
+		return v, true
 	}
-	return zero, true // put ticket: delivered
+	return zero, true // put ticket: delivered (the taker recycles the box)
 }
 
 // Await blocks until the reservation is fulfilled, the deadline passes
@@ -120,11 +128,14 @@ func (t *QueueTicket[T]) Await(deadline time.Time, cancel <-chan struct{}) (T, S
 	t.done = true
 	if t.q.isDead(x) {
 		t.q.clean(t.pred, t.node)
+		t.q.putBox(t.e) // abandoned offer: the datum never transferred
 		return zero, status
 	}
 	t.q.finish(t.node, t.pred, x)
 	if x != nil {
-		return x.v, OK
+		v := x.v
+		t.q.putBox(x)
+		return v, OK
 	}
 	return zero, OK
 }
@@ -143,6 +154,7 @@ func (t *QueueTicket[T]) Abort() bool {
 		t.node.item.Load() == t.q.closedSent {
 		t.done = true
 		t.q.clean(t.pred, t.node)
+		t.q.putBox(t.e) // aborted offer: the datum never transferred
 		return true
 	}
 	return false
@@ -159,9 +171,9 @@ type StackTicket[T any] struct {
 // was already waiting (or a fulfillment completed during the attempt), the
 // value is returned at once with ok true and a nil ticket.
 func (q *DualStack[T]) TakeReserve() (T, *StackTicket[T], bool) {
-	imm, node := q.engage(nil, modeRequest)
+	imm, node := q.engage(*new(T), modeRequest)
 	if node == nil {
-		return imm.v, nil, true
+		return imm, nil, true
 	}
 	var zero T
 	return zero, &StackTicket[T]{q: q, node: node}, false
@@ -170,8 +182,7 @@ func (q *DualStack[T]) TakeReserve() (T, *StackTicket[T], bool) {
 // PutReserve offers v on the stack. If a consumer was already waiting, v
 // is delivered at once and ok is true with a nil ticket.
 func (q *DualStack[T]) PutReserve(v T) (*StackTicket[T], bool) {
-	e := &qitem[T]{v: v}
-	_, node := q.engage(e, modeData)
+	_, node := q.engage(v, modeData)
 	if node == nil {
 		return nil, true
 	}

@@ -43,6 +43,10 @@ type xnode[T any] struct {
 	mine   *xbox[T]
 	hole   atomic.Pointer[xbox[T]]
 	waiter atomic.Pointer[park.Parker]
+	// wp is the embedded parker, initialized in place by await and
+	// published through the waiter word, so slow-path waits allocate
+	// nothing beyond the node.
+	wp     park.Parker
 	isData bool
 }
 
@@ -294,7 +298,7 @@ func (e *Exchanger[T]) await(me *xnode[T], s *slot[T], deadline time.Time, cance
 	if !deadline.IsZero() {
 		spins = spin.TimedSpins()
 	}
-	var p *park.Parker
+	armed := false
 	status := Timeout
 	spun := int64(0)
 	for i := 0; ; i++ {
@@ -336,12 +340,13 @@ func (e *Exchanger[T]) await(me *xnode[T], s *slot[T], deadline time.Time, cance
 			spin.Pause(i)
 			continue
 		}
-		if p == nil {
-			p = park.NewFaulty(e.m, e.f)
-			me.waiter.Store(p)
+		if !armed {
+			me.wp.Init(e.m, e.f)
+			me.waiter.Store(&me.wp)
+			armed = true
 			continue
 		}
-		switch p.Wait(deadline, cancel) {
+		switch me.wp.Wait(deadline, cancel) {
 		case park.Unparked:
 		case park.DeadlineExceeded:
 			status = Timeout

@@ -77,6 +77,17 @@ const (
 	// graceful shutdown (Close), including waiters that detected the
 	// close themselves after racing an in-flight close sweep.
 	ClosedWakeups
+	// NodeAllocs counts hot-path allocations the recycling layer could
+	// not avoid: a waiter node or item box requested while its pool was
+	// empty.
+	NodeAllocs
+	// NodeReuses counts waiter nodes and item boxes served from a
+	// structure's recycling pool instead of the allocator.
+	NodeReuses
+	// SpinBudget is a gauge, not a counter: the adaptive calibrator's
+	// current untimed spin budget (see internal/spin.Calibrator), written
+	// with Set. Zero when the structure uses a static spin policy.
+	SpinBudget
 
 	// NumIDs is the number of counters in a Handle.
 	NumIDs
@@ -96,6 +107,9 @@ var names = [NumIDs]string{
 	Cancellations:  "cancellations",
 	CleanSweeps:    "clean-sweeps",
 	ClosedWakeups:  "closed-wakeups",
+	NodeAllocs:     "node-allocs",
+	NodeReuses:     "node-reuses",
+	SpinBudget:     "spin-budget",
 }
 
 // String returns the counter's stable snake-ish name (used as expvar map
@@ -150,6 +164,15 @@ func (h *Handle) Inc(id ID) {
 func (h *Handle) Add(id ID, n int64) {
 	if h != nil && n != 0 {
 		h.c[id].v.Add(n)
+	}
+}
+
+// Set stores v as the counter's value — the gauge-style write used for
+// levels such as SpinBudget, as opposed to the monotone Inc/Add. No-op on
+// a nil handle.
+func (h *Handle) Set(id ID, v int64) {
+	if h != nil {
+		h.c[id].v.Store(v)
 	}
 }
 

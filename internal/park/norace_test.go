@@ -1,0 +1,5 @@
+//go:build !race
+
+package park
+
+const raceEnabled = false

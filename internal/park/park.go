@@ -8,81 +8,145 @@
 // the property the synchronous queue algorithms rely on, because the
 // fulfilling thread may call Unpark between the waiter's decision to block
 // and the waiter actually blocking.
+//
+// The permit lives in a futex-style state word (empty → permit | parked) on
+// an atomic.Uint32; the channel a parked goroutine actually blocks on is a
+// pooled, resettable notifier attached only for the duration of a slow-path
+// wait. The state word is the single source of truth: notifier tokens are
+// hints ("look at the state word again"), so a stale token straying into a
+// recycled notifier is at worst a spurious wakeup, which every caller must
+// tolerate anyway (see Wait). This makes the steady Park/Unpark cycle — and
+// a Parker embedded in a larger structure and prepared with Init —
+// allocation-free.
 package park
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"synchq/internal/fault"
 	"synchq/internal/metrics"
 )
 
-// Parker blocks and unblocks a single goroutine with one-permit semantics.
-// A Parker must be created with New, NewMetered, or NewFaulty and must not
-// be copied after first use. Park and ParkTimeout may only be called by one
-// goroutine at a time (the owner); Unpark may be called by any goroutine.
-type Parker struct {
+// Parker states. The owner moves empty→parked (before blocking) and
+// permit→empty (consuming); unparkers move empty→permit and parked→permit.
+const (
+	pEmpty  uint32 = iota // no permit, owner not blocked
+	pPermit               // a permit is available
+	pParked               // the owner is blocked (or committing to block)
+)
+
+// notifier is a pooled wake-up channel. It is boxed in a struct so the
+// Parker can hold it in an atomic.Pointer (Go has no atomic channel type):
+// the owner attaches it before publishing the parked state and detaches it
+// after the wait, and unparkers load it only after winning the
+// parked→permit transition, so the pointer itself needs no further
+// synchronization discipline from callers.
+type notifier struct {
 	ch chan struct{}
-	m  *metrics.Handle
-	f  *fault.Injector
+}
+
+// sigPool recycles notifiers across all Parkers. A notifier fetched from
+// the pool may carry a stale token from a previous life (an unparker may
+// send after the owner has already detached and recycled the notifier);
+// Get-side draining plus state-word revalidation makes that harmless.
+var sigPool = sync.Pool{
+	New: func() any { return &notifier{ch: make(chan struct{}, 1)} },
+}
+
+// Parker blocks and unblocks a single goroutine with one-permit semantics.
+// A Parker must be created with New, NewMetered, or NewFaulty — or embedded
+// in an owning structure and prepared with Init — and must not be copied
+// after first use. Park, ParkTimeout, and the other waiting methods may
+// only be called by one goroutine at a time (the owner); Unpark may be
+// called by any goroutine.
+type Parker struct {
+	state atomic.Uint32
+	sig   atomic.Pointer[notifier]
+	m     *metrics.Handle
+	f     *fault.Injector
 }
 
 // New returns a Parker with no permit available.
 func New() *Parker {
-	return &Parker{ch: make(chan struct{}, 1)}
+	return &Parker{}
 }
 
 // NewMetered returns a Parker that tallies slow-path parks and delivered
 // unparks on h. A nil h is valid and equivalent to New.
 func NewMetered(h *metrics.Handle) *Parker {
-	return &Parker{ch: make(chan struct{}, 1), m: h}
+	return &Parker{m: h}
 }
 
-// NewFaulty returns a metered Parker whose Wait is additionally subject to
-// fault injection: spurious unparks (Wait returns Unparked without a
-// permit) and timer skew on deadline waits. Nil h and nil f are both valid;
-// NewFaulty(h, nil) is equivalent to NewMetered(h).
+// NewFaulty returns a metered Parker whose waiting methods are additionally
+// subject to fault injection: spurious unparks (a wait returns success
+// without a permit) and timer skew on deadline waits. Nil h and nil f are
+// both valid; NewFaulty(h, nil) is equivalent to NewMetered(h).
 func NewFaulty(h *metrics.Handle, f *fault.Injector) *Parker {
-	return &Parker{ch: make(chan struct{}, 1), m: h, f: f}
+	return &Parker{m: h, f: f}
+}
+
+// Init prepares an embedded (zero-value) Parker in place, equivalent to
+// NewFaulty without the allocation. The owner must call it before
+// publishing the Parker to potential unparkers; it must not be called on a
+// Parker another goroutine may concurrently use.
+func (p *Parker) Init(h *metrics.Handle, f *fault.Injector) {
+	p.m = h
+	p.f = f
+	p.state.Store(pEmpty)
 }
 
 // Unpark makes the permit available, unblocking a current or future Park.
 // Multiple Unparks coalesce into a single permit; only the Unpark that
 // deposits the permit counts as a delivery.
 func (p *Parker) Unpark() {
-	select {
-	case p.ch <- struct{}{}:
-		p.m.Inc(metrics.Unparks)
-	default:
+	for {
+		switch p.state.Load() {
+		case pPermit:
+			return // coalesce
+		case pEmpty:
+			if p.state.CompareAndSwap(pEmpty, pPermit) {
+				p.m.Inc(metrics.Unparks)
+				return
+			}
+		case pParked:
+			if p.state.CompareAndSwap(pParked, pPermit) {
+				p.m.Inc(metrics.Unparks)
+				// The owner attached its notifier before moving to
+				// parked, so a non-nil load here is the channel it is
+				// blocked on (or about to detach — then the token is a
+				// harmless stray). Non-blocking: capacity 1 and tokens
+				// coalesce like permits.
+				if n := p.sig.Load(); n != nil {
+					select {
+					case n.ch <- struct{}{}:
+					default:
+					}
+				}
+				return
+			}
+		}
 	}
 }
 
-// Park blocks until the permit is available and consumes it.
+// Park blocks until the permit is available and consumes it. Unlike the
+// timed and cancelable waits, Park is exact even under fault injection: a
+// return always consumed a real permit.
 func (p *Parker) Park() {
-	select {
-	case <-p.ch:
-		return // permit already available: no deschedule
-	default:
+	for p.wait(time.Time{}, nil, false) != Unparked {
 	}
-	p.m.Inc(metrics.Parks)
-	<-p.ch
 }
 
 // TryPark consumes the permit if one is immediately available and reports
 // whether it did.
 func (p *Parker) TryPark() bool {
-	select {
-	case <-p.ch:
-		return true
-	default:
-		return false
-	}
+	return p.state.CompareAndSwap(pPermit, pEmpty)
 }
 
-// timerPool recycles timers across ParkTimeout calls. Timed waits are on the
-// hot path of poll/offer with patience, so avoiding a timer allocation per
-// wait matters.
+// timerPool recycles timers across timed waits. Timed waits are on the hot
+// path of poll/offer with patience, so avoiding a timer allocation per wait
+// matters.
 var timerPool = sync.Pool{
 	New: func() any {
 		t := time.NewTimer(time.Hour)
@@ -95,66 +159,37 @@ var timerPool = sync.Pool{
 
 // ParkTimeout blocks until the permit is available or d elapses. It returns
 // true if the permit was consumed, false on timeout. A non-positive d polls
-// the permit without blocking.
+// the permit without blocking. Under fault injection the wait may wake
+// spuriously (returning true without a permit) or observe a skewed timer,
+// so faulty callers must re-validate their wait condition.
 func (p *Parker) ParkTimeout(d time.Duration) bool {
 	if d <= 0 {
 		return p.TryPark()
 	}
-	// Fast path: permit already available.
-	select {
-	case <-p.ch:
-		return true
-	default:
-	}
-	p.m.Inc(metrics.Parks)
-	t := timerPool.Get().(*time.Timer)
-	t.Reset(d)
-	defer func() {
-		if !t.Stop() {
-			select {
-			case <-t.C:
-			default:
-			}
-		}
-		timerPool.Put(t)
-	}()
-	select {
-	case <-p.ch:
-		return true
-	case <-t.C:
-		return false
-	}
+	return p.wait(time.Now().Add(d), nil, true) == Unparked
 }
 
 // ParkDeadline blocks until the permit is available or the deadline passes.
 // A zero deadline means wait forever. It returns true if the permit was
-// consumed.
+// consumed (spuriously under fault injection, as with ParkTimeout).
 func (p *Parker) ParkDeadline(deadline time.Time) bool {
 	if deadline.IsZero() {
 		p.Park()
 		return true
 	}
-	return p.ParkTimeout(time.Until(deadline))
+	return p.wait(deadline, nil, true) == Unparked
 }
 
 // ParkChan blocks until the permit is available or the given channel is
 // closed/receives (typically ctx.Done()). It returns true if the permit was
-// consumed, false if the channel fired first.
+// consumed, false if the channel fired first. Like ParkTimeout it honors
+// the injector's spurious-unpark site, so context-cancel waits are
+// chaos-testable: a faulty ParkChan may return true without a permit and
+// callers must re-validate.
 func (p *Parker) ParkChan(cancel <-chan struct{}) bool {
 	if cancel == nil {
 		p.Park()
 		return true
 	}
-	select {
-	case <-p.ch:
-		return true
-	default:
-	}
-	p.m.Inc(metrics.Parks)
-	select {
-	case <-p.ch:
-		return true
-	case <-cancel:
-		return false
-	}
+	return p.wait(time.Time{}, cancel, true) == Unparked
 }

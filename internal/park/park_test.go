@@ -162,8 +162,8 @@ func TestManyParkUnparkCycles(t *testing.T) {
 		for i := 0; i < rounds; i++ {
 			p.Unpark()
 			// Pace the permits: each Unpark must be consumed, so
-			// wait for the buffer to drain before the next.
-			for len(p.ch) != 0 {
+			// wait for the state word to drop the permit first.
+			for p.state.Load() == pPermit {
 				time.Sleep(time.Microsecond)
 			}
 		}
@@ -207,4 +207,43 @@ func TestConcurrentUnparkersSingleParker(t *testing.T) {
 	if w := wakes.Load(); w == 0 || w > unparks {
 		t.Fatalf("wakes = %d, want between 1 and %d", w, unparks)
 	}
+}
+
+func TestParkUnparkCycleDoesNotAllocate(t *testing.T) {
+	// The permit fast path (Unpark then Park) must be allocation-free,
+	// and a slow-path wait must only touch pooled notifiers/timers. The
+	// fast path is deterministic, so pin it to exactly zero.
+	p := New()
+	if n := testing.AllocsPerRun(1000, func() {
+		p.Unpark()
+		p.Park()
+	}); n != 0 {
+		t.Fatalf("Unpark+Park fast path allocated %v allocs/op, want 0", n)
+	}
+	// Slow path: warm the pools, then require steady-state zero. The
+	// partner goroutine only spins on the state word, so its loop does
+	// not allocate either.
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts under -race, so the pooled notifier path cannot be held to zero allocations")
+	}
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			p.Unpark()
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		p.ParkTimeout(time.Second)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		p.ParkTimeout(time.Second)
+	}); n > 0 {
+		t.Fatalf("steady-state ParkTimeout allocated %v allocs/op, want 0", n)
+	}
+	close(stop)
 }

@@ -1,0 +1,9 @@
+//go:build race
+
+package park
+
+// raceEnabled reports whether the race detector is on. Under -race,
+// sync.Pool deliberately drops a quarter of Puts (see sync/pool.go) and
+// the instrumentation shifts allocation accounting, so exact-zero
+// allocation assertions on pooled paths are skipped.
+const raceEnabled = true

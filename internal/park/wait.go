@@ -29,20 +29,34 @@ const (
 // synchronous queue wait loops do anyway, since a real Unpark only signals
 // "look again".
 func (p *Parker) Wait(deadline time.Time, cancel <-chan struct{}) WaitResult {
+	return p.wait(deadline, cancel, true)
+}
+
+// wait is the shared slow path behind every waiting method. faulty selects
+// whether the injector's spurious-unpark and timer-skew sites apply (Park's
+// exact contract opts out).
+//
+// The protocol: consume an available permit; otherwise attach a pooled
+// notifier, publish the parked state, and block on notifier/timer/cancel.
+// The state word is the truth — a notifier token only means "re-examine the
+// state word", so stale tokens (from a previous wait, or from an unparker
+// racing the detach) cause one extra loop iteration, never a wrong result.
+func (p *Parker) wait(deadline time.Time, cancel <-chan struct{}, faulty bool) WaitResult {
 	// Fast path: permit already available.
-	select {
-	case <-p.ch:
+	if p.state.CompareAndSwap(pPermit, pEmpty) {
 		return Unparked
-	default:
 	}
 
-	if p.f.SpuriousWake() {
+	if faulty && p.f.SpuriousWake() {
 		return Unparked
 	}
 
 	var timerC <-chan time.Time
 	if !deadline.IsZero() {
-		d := p.f.SkewTimer(time.Until(deadline))
+		d := time.Until(deadline)
+		if faulty {
+			d = p.f.SkewTimer(d)
+		}
 		if d <= 0 {
 			return DeadlineExceeded
 		}
@@ -60,13 +74,62 @@ func (p *Parker) Wait(deadline time.Time, cancel <-chan struct{}) WaitResult {
 		timerC = t.C
 	}
 
-	p.m.Inc(metrics.Parks)
+	// Attach a notifier for this wait. It may carry a stale token from a
+	// previous life; drain it so we don't wake instantly for nothing (a
+	// token arriving after the drain is indistinguishable from a spurious
+	// unpark and equally harmless).
+	n := sigPool.Get().(*notifier)
 	select {
-	case <-p.ch:
-		return Unparked
-	case <-timerC:
-		return DeadlineExceeded
-	case <-cancel:
-		return Canceled
+	case <-n.ch:
+	default:
 	}
+	p.sig.Store(n)
+
+	p.m.Inc(metrics.Parks)
+	for {
+		if !p.state.CompareAndSwap(pEmpty, pParked) {
+			// Not empty: a permit arrived between the fast path and
+			// here (or a stale-token loop already disarmed us).
+			if p.state.CompareAndSwap(pPermit, pEmpty) {
+				return p.detach(n, Unparked)
+			}
+			continue
+		}
+		select {
+		case <-n.ch:
+			// Woken by a token. The state word decides whether it was
+			// a real permit delivery.
+			if p.state.CompareAndSwap(pPermit, pEmpty) {
+				return p.detach(n, Unparked)
+			}
+			// Stale token: disarm back to empty and loop to re-park.
+			// If the disarm loses, a real unparker just won and the
+			// next iteration consumes the permit.
+			p.state.CompareAndSwap(pParked, pEmpty)
+		case <-timerC:
+			// Disarm. If the disarm loses, an unparker delivered a
+			// permit concurrently with the timeout: keep it stored for
+			// the owner's next wait (the same outcome the old
+			// channel-based Parker had when the timer won the select).
+			p.state.CompareAndSwap(pParked, pEmpty)
+			return p.detach(n, DeadlineExceeded)
+		case <-cancel:
+			p.state.CompareAndSwap(pParked, pEmpty)
+			return p.detach(n, Canceled)
+		}
+	}
+}
+
+// detach unhooks the notifier after a slow-path wait and recycles it. An
+// unparker that already loaded the pointer may still send one token into
+// the recycled notifier; the Get-side drain and the hint-only token
+// contract make that benign.
+func (p *Parker) detach(n *notifier, r WaitResult) WaitResult {
+	p.sig.Store(nil)
+	select {
+	case <-n.ch:
+	default:
+	}
+	sigPool.Put(n)
+	return r
 }

@@ -1,0 +1,100 @@
+package spin
+
+import "sync/atomic"
+
+// Calibrator adapts a structure's spin-before-park budget to the observed
+// fulfillment latency, replacing the static MaxTimedSpins/MaxUntimedSpins
+// policy when the caller accepts the defaults. The paper's target is "spin
+// for about one quarter of a context switch": how many loop iterations that
+// is depends on the machine, the load, and how promptly counterparts show
+// up, so the calibrator learns it online.
+//
+// Each completed wait reports Observe(spun, parked):
+//
+//   - a wait fulfilled while still spinning suggests the budget has
+//     headroom — a little more than the observed spin count would have
+//     sufficed even if the counterpart had been slightly slower, so the
+//     signal is 2×spun;
+//   - a wait that had to park means spinning was not enough; the signal
+//     pushes the budget toward the ceiling, since a budget that parks
+//     anyway only pays the spin cost on top of the context switch.
+//
+// Signals feed an EWMA (α = 1/8, fixed-point) whose value, clamped to
+// [MaxTimedSpins, MaxUntimedSpins] — the old constants demoted to floor and
+// ceiling — becomes the untimed budget. The timed budget keeps the static
+// policy's 1:16 ratio (timed waits re-check the clock each iteration, so
+// their loop is an order of magnitude more expensive).
+//
+// The read-modify-write on the EWMA word is deliberately racy: concurrent
+// observers may lose updates, but the budget is a heuristic and every
+// surviving update still moves it toward the recent signal mean. On a
+// uniprocessor the calibrator is inert and both budgets are zero, matching
+// the static policy.
+type Calibrator struct {
+	_      [64]byte // keep the hot words off neighbors' cache lines
+	ewma   atomic.Uint64
+	budget atomic.Uint32
+	_      [60]byte
+}
+
+// ewmaShift is the fixed-point fraction width of the EWMA accumulator;
+// alphaShift makes α = 1/8.
+const (
+	ewmaShift  = 8
+	alphaShift = 3
+)
+
+// NewCalibrator returns a calibrator whose budget starts at the static
+// ceiling (the pre-adaptive default), adapting downward as evidence
+// accumulates.
+func NewCalibrator() *Calibrator {
+	c := &Calibrator{}
+	c.ewma.Store(MaxUntimedSpins << ewmaShift)
+	c.budget.Store(MaxUntimedSpins)
+	return c
+}
+
+// Observe feeds one completed wait into the calibrator: spun is how many
+// spin iterations the waiter used, parked whether it gave up spinning and
+// blocked. Call only for waits that ended in fulfillment — timeouts and
+// cancellations say nothing about how long fulfillment takes.
+func (c *Calibrator) Observe(spun int, parked bool) {
+	if !multicore {
+		return
+	}
+	signal := uint64(spun) * 2
+	if parked || signal > MaxUntimedSpins {
+		signal = MaxUntimedSpins
+	}
+	e := c.ewma.Load()
+	e += (signal << ewmaShift >> alphaShift) - (e >> alphaShift)
+	c.ewma.Store(e)
+	b := uint32(e >> ewmaShift)
+	if b < MaxTimedSpins {
+		b = MaxTimedSpins
+	}
+	if b > MaxUntimedSpins {
+		b = MaxUntimedSpins
+	}
+	c.budget.Store(b)
+}
+
+// Untimed returns the current spin budget for unbounded waits: zero on a
+// uniprocessor, otherwise the adapted budget within
+// [MaxTimedSpins, MaxUntimedSpins].
+func (c *Calibrator) Untimed() int {
+	if !multicore {
+		return 0
+	}
+	return int(c.budget.Load())
+}
+
+// Timed returns the current spin budget for deadline waits: the untimed
+// budget scaled by the static policy's 1:16 ratio, i.e. within
+// [MaxTimedSpins/16, MaxTimedSpins]. Zero on a uniprocessor.
+func (c *Calibrator) Timed() int {
+	if !multicore {
+		return 0
+	}
+	return int(c.budget.Load()) >> 4
+}

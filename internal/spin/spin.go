@@ -80,17 +80,33 @@ func MeteredPause(i int, h *metrics.Handle) {
 // Backoff implements randomized-free exponential backoff for CAS retry
 // loops. The zero value is ready to use.
 type Backoff struct {
-	n int
+	n    int
+	caps int // consecutive waits spent at the cap since the last reset
 }
+
+// backoffMaxShift caps the exponential ramp (a 1<<backoffMaxShift ns sleep);
+// backoffCapResets is how many consecutive cap-level waits are tolerated
+// before the ramp restarts from the beginning.
+const (
+	backoffMaxShift  = 8
+	backoffCapResets = 4
+)
 
 // Wait backs off for a duration that doubles with each call, starting from a
 // single yield and capping at a small sleep. It resets automatically after
 // the cap is reached several times, which avoids unbounded punishment of an
-// unlucky thread.
+// unlucky thread: after backoffCapResets consecutive cap-level sleeps the
+// ramp restarts from a single yield, so a thread that was merely unlucky
+// gets to probe cheaply again instead of sleeping at the cap forever.
 func (b *Backoff) Wait() {
-	const maxShift = 8
-	if b.n < maxShift {
+	if b.n < backoffMaxShift {
 		b.n++
+	} else {
+		b.caps++
+		if b.caps >= backoffCapResets {
+			b.caps = 0
+			b.n = 1 // restart the ramp at the initial yield
+		}
 	}
 	if b.n <= 3 {
 		runtime.Gosched()
@@ -98,7 +114,7 @@ func (b *Backoff) Wait() {
 	}
 	// 1<<4 .. 1<<8 iterations of yielding, then a timed sleep as a last
 	// resort under pathological contention.
-	if b.n < maxShift {
+	if b.n < backoffMaxShift {
 		for i := 0; i < 1<<b.n; i++ {
 			runtime.Gosched()
 		}
@@ -108,7 +124,7 @@ func (b *Backoff) Wait() {
 }
 
 // Reset clears the backoff state after a successful operation.
-func (b *Backoff) Reset() { b.n = 0 }
+func (b *Backoff) Reset() { b.n, b.caps = 0, 0 }
 
 // Counter is a cache-padded event counter used by the benchmark harness and
 // the stress tester to tally transfers without introducing false sharing

@@ -74,3 +74,64 @@ func TestCounterConcurrent(t *testing.T) {
 		t.Fatalf("Load = %d, want %d", c.Load(), workers*rounds)
 	}
 }
+
+func TestBackoffPeriodicCapReset(t *testing.T) {
+	// Pin the promised sequence: the shift ramps 1..backoffMaxShift, holds
+	// at the cap for backoffCapResets-1 further waits, then restarts from
+	// the initial yield instead of sleeping at the cap forever.
+	var b Backoff
+	want := []int{1, 2, 3, 4, 5, 6, 7, 8, // ramp
+		8, 8, 8, // held at cap (caps = 1..3)
+		1, 2, // reset fired on the 4th cap-level wait, ramp restarts
+	}
+	for i, w := range want {
+		b.Wait()
+		if b.n != w {
+			t.Fatalf("after wait %d: n = %d, want %d", i+1, b.n, w)
+		}
+	}
+	b.Reset()
+	if b.n != 0 || b.caps != 0 {
+		t.Fatalf("Reset left n=%d caps=%d", b.n, b.caps)
+	}
+}
+
+func TestCalibratorAdaptsWithinBounds(t *testing.T) {
+	if !Multicore() {
+		t.Skip("calibrator is inert on a uniprocessor")
+	}
+	c := NewCalibrator()
+	if got := c.Untimed(); got != MaxUntimedSpins {
+		t.Fatalf("initial untimed budget = %d, want ceiling %d", got, MaxUntimedSpins)
+	}
+	// Instant fulfillments (spun=0) must decay the budget to the floor —
+	// and never below it.
+	for i := 0; i < 200; i++ {
+		c.Observe(0, false)
+	}
+	if got := c.Untimed(); got != MaxTimedSpins {
+		t.Fatalf("after instant fulfillments: untimed = %d, want floor %d", got, MaxTimedSpins)
+	}
+	if got := c.Timed(); got != MaxTimedSpins>>4 {
+		t.Fatalf("timed = %d, want %d", got, MaxTimedSpins>>4)
+	}
+	// Parked waits must push it back to the ceiling — and never above.
+	for i := 0; i < 200; i++ {
+		c.Observe(MaxUntimedSpins, true)
+	}
+	if got := c.Untimed(); got != MaxUntimedSpins {
+		t.Fatalf("after parked waits: untimed = %d, want ceiling %d", got, MaxUntimedSpins)
+	}
+	if got := c.Timed(); got != MaxTimedSpins {
+		t.Fatalf("timed = %d, want %d", got, MaxTimedSpins)
+	}
+	// A mid-range signal settles between the bounds: fulfilled after 100
+	// spins → signal 200.
+	for i := 0; i < 200; i++ {
+		c.Observe(100, false)
+	}
+	if got := c.Untimed(); got <= MaxTimedSpins || got >= MaxUntimedSpins {
+		t.Fatalf("mid-range untimed = %d, want strictly between %d and %d",
+			got, MaxTimedSpins, MaxUntimedSpins)
+	}
+}
