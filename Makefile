@@ -1,8 +1,8 @@
 # Tier-1 gate: everything `make check` runs must pass before a change
 # lands. CI and the pre-merge driver run exactly this target.
-.PHONY: check vet build test race bench-overhead bench-smoke stress chaos chaos-short
+.PHONY: check vet build test race bench-overhead bench-smoke bench-scaling stress chaos chaos-short
 
-check: vet build test race bench-smoke chaos-short
+check: vet build test race bench-smoke bench-scaling chaos-short
 
 vet:
 	go vet ./...
@@ -30,6 +30,14 @@ bench-smoke:
 	go test -run TestHandoffAllocBudget -count 1 ./internal/core/
 	go test -run - -bench BenchmarkHandoffAllocs -benchtime 100x -benchmem ./internal/core/
 
+# Scaling smoke gate: a short producer×consumer sweep of the sharded,
+# elimination-fronted fair queue against the plain one. The -gate check is
+# coarse (no-regression, with a bounded-overhead fallback on single-CPU
+# hosts — sharding has nothing to win there); the committed
+# BENCH_scaling.json is regenerated with the longer settings in its header.
+bench-scaling:
+	go run ./cmd/sqbench -figure scaling -transfers 3000 -repeats 2 -levels 1,4,8 -quiet -gate
+
 # Quick instrumented stress pass across every timed algorithm.
 stress:
 	go run ./cmd/sqstress -all -metrics -duration 2s
@@ -41,6 +49,8 @@ stress:
 chaos-short:
 	go run -race ./cmd/sqstress -algo "New SynchQueue,New SynchQueue (fair),New TransferQueue" \
 		-chaos -seed 1 -duration 300ms -producers 4 -consumers 4
+	go run -race ./cmd/sqstress -algo "Sharded SynchQueue (fair),Eliminating SynchQueue (fair)" \
+		-chaos -seed 1 -procs 8 -duration 300ms -producers 4 -consumers 4
 
 # Long chaos soak for hunting new schedules: vary -seed to explore, then
 # replay any failure with the seed the run printed.

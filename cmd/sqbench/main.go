@@ -49,7 +49,8 @@ func main() {
 		chart     = flag.Bool("chart", false, "emit ASCII bar charts instead of tables")
 		speedup   = flag.String("speedup", "", "append a speedup table relative to the named series (e.g. \"SynchronousQueue\")")
 		metricsF  = flag.Bool("metrics", false, "append, for live figures 3-5, the instrumented-counter table (CAS failures, spins, parks, unparks, cleaning sweeps per 1000 transfers) recorded alongside throughput")
-		jsonF     = flag.Bool("json", false, "run the hand-off allocation benchmark and emit its JSON report (BENCH_handoff.json) to stdout instead of a figure")
+		jsonF     = flag.Bool("json", false, "emit a JSON report instead of a figure: the hand-off allocation benchmark (BENCH_handoff.json) by default, or the scaling sweep (BENCH_scaling.json) with -figure scaling")
+		gate      = flag.Bool("gate", false, "with -figure scaling: exit nonzero if the sharded+adaptive fair queue is slower than the plain fair queue at the maximum pair count (the bench-scaling regression gate)")
 		quiet     = flag.Bool("quiet", false, "suppress progress output on stderr")
 		procs     = flag.Int("procs", 0, "GOMAXPROCS for the run; 0 selects max(NumCPU, 8) so that the paper's contention regime is reproduced even on small hosts")
 		simProcs  = flag.Int("simprocs", 16, "simulated processors for -figure sim3")
@@ -68,7 +69,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sqbench: GOMAXPROCS=%d (NumCPU=%d)\n", p, runtime.NumCPU())
 	}
 
-	if *jsonF {
+	if *jsonF && *figure != "scaling" {
 		report := bench.HandoffAllocs(*transfers)
 		out, err := report.JSON()
 		if err != nil {
@@ -101,6 +102,34 @@ func main() {
 		opts.Progress = func(fig int, algo string, level int) {
 			fmt.Fprintf(os.Stderr, "figure %d: %-28s level %d\n", fig, algo, level)
 		}
+	}
+
+	if *figure == "scaling" {
+		t, report := bench.Scaling(opts)
+		if *jsonF {
+			out, err := report.JSON()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sqbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%s\n", out)
+		} else if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Print(t.Render())
+			fmt.Printf("\nsummary: queue+shard+elim at %d pairs: %.0f ns/transfer vs %.0f unsharded (%.2fx)\n",
+				report.Summary.MaxPairs, report.Summary.ShardedNs,
+				report.Summary.BaselineNs, report.Summary.Speedup)
+		}
+		if *gate {
+			if err := report.Gate(); err != nil {
+				fmt.Fprintf(os.Stderr, "sqbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "sqbench: scaling gate passed (%.2fx at %d pairs)\n",
+				report.Summary.Speedup, report.Summary.MaxPairs)
+		}
+		return
 	}
 
 	figs := map[string]func(bench.SweepOpts) *stats.Table{

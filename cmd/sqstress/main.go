@@ -24,6 +24,7 @@ import (
 	"math/rand/v2"
 	"net/http"
 	"os"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -32,8 +33,10 @@ import (
 	"synchq/internal/baseline"
 	"synchq/internal/bench"
 	"synchq/internal/core"
+	"synchq/internal/exchanger"
 	"synchq/internal/fault"
 	"synchq/internal/metrics"
+	"synchq/internal/shard"
 	"synchq/internal/stats"
 	"synchq/internal/verify"
 )
@@ -52,9 +55,31 @@ type transferSQ struct{ tq *core.TransferQueue[int64] }
 func (a transferSQ) OfferTimeout(v int64, d time.Duration) bool { return a.tq.TransferTimeout(v, d) }
 func (a transferSQ) PollTimeout(d time.Duration) (int64, bool)  { return a.tq.PollTimeout(d) }
 
+// elimSQ fronts a dual queue with the adaptive elimination arena, like
+// synchq.NewEliminatingAdaptive, so the stress mix covers the arena's
+// retract/hand-off races (and, under -chaos, its XArenaPause site).
+type elimSQ struct {
+	arena *exchanger.Arena[int64]
+	q     *core.DualQueue[int64]
+}
+
+func (e elimSQ) OfferTimeout(v int64, d time.Duration) bool {
+	if e.arena.TryGiveAdaptive(v) {
+		return true
+	}
+	return e.q.OfferTimeout(v, d)
+}
+
+func (e elimSQ) PollTimeout(d time.Duration) (int64, bool) {
+	if v, ok := e.arena.TryTakeAdaptive(); ok {
+		return v, true
+	}
+	return e.q.PollTimeout(d)
+}
+
 // newTimed constructs the named algorithm, attaching h and the fault
-// injector f to the implementations that support them (the core dual
-// structures). metered reports whether h was attached.
+// injector f to the implementations that support them. metered reports
+// whether h was attached.
 func newTimed(name string, h *metrics.Handle, f *fault.Injector) (q timedSQ, metered bool) {
 	cfg := core.WaitConfig{Metrics: h, Fault: f}
 	switch name {
@@ -68,6 +93,14 @@ func newTimed(name string, h *metrics.Handle, f *fault.Injector) (q timedSQ, met
 		return core.NewDualQueue[int64](cfg), h != nil
 	case "New TransferQueue":
 		return transferSQ{core.NewTransferQueue[int64](cfg)}, h != nil
+	case "Sharded SynchQueue (fair)":
+		fab := shard.New(0, func(int) shard.Dual[int64] {
+			return core.NewDualQueue[int64](cfg)
+		}).SetMetrics(h).SetFault(f)
+		return fab, h != nil
+	case "Eliminating SynchQueue (fair)":
+		arena := exchanger.NewArenaAdaptive[int64](0).SetMetrics(h).SetFault(f)
+		return elimSQ{arena: arena, q: core.NewDualQueue[int64](cfg)}, h != nil
 	case "GoChannel":
 		return baseline.NewChannel[int64](), false
 	default:
@@ -86,8 +119,13 @@ func main() {
 		chaos     = flag.Bool("chaos", false, "inject deterministic faults (seeded CAS failures, preemptions, spurious unparks, timer skew) into the core dual structures")
 		metricsF  = flag.Bool("metrics", false, "print the instrumentation counter table after the runs (always printed on failure)")
 		httpAddr  = flag.String("http", "", "serve expvar at this address (e.g. :8080) so counters are scrapable at /debug/vars during long runs")
+		procs     = flag.Int("procs", 0, "GOMAXPROCS for the run; 0 keeps the runtime default. Raising it on a small host widens the shard fabric (its width follows GOMAXPROCS), so the cross-shard steal paths get stressed too")
 	)
 	flag.Parse()
+
+	if *procs > 0 {
+		runtime.GOMAXPROCS(*procs)
+	}
 
 	if *httpAddr != "" {
 		go func() {
@@ -112,8 +150,14 @@ func main() {
 		}
 		// The transfer queue lives outside the bench registry (its Put is
 		// asynchronous, which the throughput benchmarks exclude) but its
-		// synchronous paths stress exactly like the fair queue's.
-		names = append(names, "New TransferQueue")
+		// synchronous paths stress exactly like the fair queue's. The
+		// sharded and eliminating compositions likewise join only here,
+		// where their cross-shard steals and arena retract races get the
+		// long-running mixed workload the figures do not provide.
+		names = append(names,
+			"New TransferQueue",
+			"Sharded SynchQueue (fair)",
+			"Eliminating SynchQueue (fair)")
 	}
 
 	if *chaos {

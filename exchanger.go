@@ -72,6 +72,10 @@ func (x *Exchanger[T]) ExchangeContext(ctx context.Context, v T) (T, error) {
 // failure. This is the paper's §5 future-work experiment; as the paper
 // anticipates, it pays off only under extreme contention (see Ablation C
 // in EXPERIMENTS.md).
+//
+// The front-end is a drop-in wrapper: it exposes the full SynchronousQueue
+// surface (contexts, low-level waits, state probes, Close), delegating
+// everything the arena cannot accelerate to the underlying queue.
 type EliminatingQueue[T any] struct {
 	q        *SynchronousQueue[T]
 	arena    *exchanger.Arena[T]
@@ -88,10 +92,52 @@ func NewEliminating[T any](q *SynchronousQueue[T], slots int, patience time.Dura
 	return &EliminatingQueue[T]{q: q, arena: exchanger.NewArena[T](slots), patience: patience}
 }
 
+// NewEliminatingAdaptive wraps q with a self-tuning elimination front-end:
+// instead of the fixed slot count and patience of NewEliminating, the
+// arena's active width and per-attempt patience adapt online to the
+// observed contention, and the arena collapses to direct hand-off — no
+// detour at all beyond a periodic re-probe — when the queue is quiet. This
+// removes the main drawback Ablation C found in the static front-end (a
+// fixed latency tax at low contention) while keeping its benefit at high
+// contention.
+func NewEliminatingAdaptive[T any](q *SynchronousQueue[T]) *EliminatingQueue[T] {
+	return &EliminatingQueue[T]{q: q, arena: exchanger.NewArenaAdaptive[T](0)}
+}
+
+// Adaptive reports whether the arena self-tunes (NewEliminatingAdaptive)
+// rather than using fixed knobs (NewEliminating).
+func (e *EliminatingQueue[T]) Adaptive() bool { return e.arena.Adaptive() }
+
+// tryGive makes one arena attempt to hand off v, under whichever patience
+// policy the queue was built with.
+func (e *EliminatingQueue[T]) tryGive(v T) bool {
+	if e.arena.Adaptive() {
+		return e.arena.TryGiveAdaptive(v)
+	}
+	return e.arena.TryGive(v, e.patience)
+}
+
+// tryTake makes one arena attempt to receive a value.
+func (e *EliminatingQueue[T]) tryTake() (T, bool) {
+	if e.arena.Adaptive() {
+		return e.arena.TryTakeAdaptive()
+	}
+	return e.arena.TryTake(e.patience)
+}
+
+// arenaPatience is the longest one arena attempt may currently wait, used
+// to decide whether a bounded operation can afford the detour.
+func (e *EliminatingQueue[T]) arenaPatience() time.Duration {
+	if e.arena.Adaptive() {
+		return e.arena.Patience()
+	}
+	return e.patience
+}
+
 // Put transfers v to a consumer — via the arena if one is met there in
 // time, otherwise through the underlying queue.
 func (e *EliminatingQueue[T]) Put(v T) {
-	if e.arena.TryGive(v, e.patience) {
+	if e.tryGive(v) {
 		return
 	}
 	e.q.Put(v)
@@ -100,7 +146,7 @@ func (e *EliminatingQueue[T]) Put(v T) {
 // Take receives a value from a producer — via the arena if one is met
 // there in time, otherwise through the underlying queue.
 func (e *EliminatingQueue[T]) Take() T {
-	if v, ok := e.arena.TryTake(e.patience); ok {
+	if v, ok := e.tryTake(); ok {
 		return v
 	}
 	return e.q.Take()
@@ -119,8 +165,8 @@ func (e *EliminatingQueue[T]) Poll() (T, bool) { return e.q.Poll() }
 // underlying queue for the remaining patience.
 func (e *EliminatingQueue[T]) OfferTimeout(v T, d time.Duration) bool {
 	deadline := time.Now().Add(d)
-	if d > e.patience {
-		if e.arena.TryGive(v, e.patience) {
+	if d > e.arenaPatience() {
+		if e.tryGive(v) {
 			return true
 		}
 	}
@@ -131,12 +177,85 @@ func (e *EliminatingQueue[T]) OfferTimeout(v T, d time.Duration) bool {
 // the underlying queue for the remaining patience.
 func (e *EliminatingQueue[T]) PollTimeout(d time.Duration) (T, bool) {
 	deadline := time.Now().Add(d)
-	if d > e.patience {
-		if v, ok := e.arena.TryTake(e.patience); ok {
+	if d > e.arenaPatience() {
+		if v, ok := e.tryTake(); ok {
 			return v, true
 		}
 	}
 	return e.q.PollTimeout(time.Until(deadline))
 }
+
+// PutContext transfers v to a consumer — via the arena when a partner is
+// met there within the arena patience — abandoning the attempt if ctx is
+// done first. Errors follow the SynchronousQueue.PutContext contract.
+func (e *EliminatingQueue[T]) PutContext(ctx context.Context, v T) error {
+	if e.q.Closed() {
+		return ErrClosed
+	}
+	if e.tryGive(v) {
+		return nil
+	}
+	return e.q.PutContext(ctx, v)
+}
+
+// TakeContext receives a value — via the arena when a partner is met there
+// within the arena patience — abandoning the attempt if ctx is done first.
+// Errors follow the SynchronousQueue.TakeContext contract.
+func (e *EliminatingQueue[T]) TakeContext(ctx context.Context) (T, error) {
+	if e.q.Closed() {
+		var zero T
+		return zero, ErrClosed
+	}
+	if v, ok := e.tryTake(); ok {
+		return v, nil
+	}
+	return e.q.TakeContext(ctx)
+}
+
+// OfferWait transfers v, trying the arena first when the deadline leaves
+// room for the detour, then waiting on the underlying queue until the
+// deadline passes (zero: no deadline) or cancel fires (nil: never).
+func (e *EliminatingQueue[T]) OfferWait(v T, deadline time.Time, cancel <-chan struct{}) bool {
+	if deadline.IsZero() || time.Until(deadline) > e.arenaPatience() {
+		if e.tryGive(v) {
+			return true
+		}
+	}
+	return e.q.OfferWait(v, deadline, cancel)
+}
+
+// PollWait receives a value, trying the arena first when the deadline
+// leaves room for the detour, then waiting on the underlying queue until
+// the deadline passes (zero: no deadline) or cancel fires (nil: never).
+func (e *EliminatingQueue[T]) PollWait(deadline time.Time, cancel <-chan struct{}) (T, bool) {
+	if deadline.IsZero() || time.Until(deadline) > e.arenaPatience() {
+		if v, ok := e.tryTake(); ok {
+			return v, true
+		}
+	}
+	return e.q.PollWait(deadline, cancel)
+}
+
+// HasWaitingConsumer reports whether a consumer was observed waiting in
+// the underlying queue. Arena waiters are not counted: their patience is
+// microseconds, too short to act on.
+func (e *EliminatingQueue[T]) HasWaitingConsumer() bool { return e.q.HasWaitingConsumer() }
+
+// HasWaitingProducer reports whether a producer was observed waiting in
+// the underlying queue.
+func (e *EliminatingQueue[T]) HasWaitingProducer() bool { return e.q.HasWaitingProducer() }
+
+// IsEmpty reports whether the underlying queue was observed with no
+// waiting producers or consumers.
+func (e *EliminatingQueue[T]) IsEmpty() bool { return e.q.IsEmpty() }
+
+// Close shuts the underlying queue down (see SynchronousQueue.Close).
+// Arena waiters are not woken: every arena attempt is patience-bounded to
+// microseconds, after which the party falls through to the queue and
+// observes the closed state there.
+func (e *EliminatingQueue[T]) Close() { e.q.Close() }
+
+// Closed reports whether Close has been called.
+func (e *EliminatingQueue[T]) Closed() bool { return e.q.Closed() }
 
 var _ TimedQueue[int] = (*EliminatingQueue[int])(nil)

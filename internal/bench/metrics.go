@@ -5,13 +5,14 @@ import (
 
 	"synchq/internal/core"
 	"synchq/internal/metrics"
+	"synchq/internal/shard"
 	"synchq/internal/stats"
 )
 
 // MeteredAlgorithm is an algorithm that can be constructed with an
-// instrumentation handle attached — today the two core dual structures;
-// the registry exists so later instrumented implementations (sharded,
-// elimination-fronted) join the -metrics column set by adding a row here.
+// instrumentation handle attached: the two core dual structures, the
+// sharded fair queue, and the elimination-fronted fair queue. New rows
+// join the -metrics column set by being added here.
 type MeteredAlgorithm struct {
 	// Name matches the figure legend; Short prefixes the metric columns.
 	Name, Short string
@@ -31,13 +32,32 @@ func MeteredAlgorithms() []MeteredAlgorithm {
 			Short: "fair",
 			New:   func(h *metrics.Handle) SQ { return core.NewDualQueue[int64](core.WaitConfig{Metrics: h}) },
 		},
+		{
+			Name:  "Sharded SynchQueue (fair)",
+			Short: "shard",
+			New: func(h *metrics.Handle) SQ {
+				return fabricSQ{shard.New(0, func(int) shard.Dual[int64] {
+					return core.NewDualQueue[int64](core.WaitConfig{Metrics: h})
+				}).SetMetrics(h)}
+			},
+		},
+		{
+			Name:  "Eliminating SynchQueue (fair)",
+			Short: "elim",
+			New: func(h *metrics.Handle) SQ {
+				e := newAdaptiveElimSQ(core.NewDualQueue[int64](core.WaitConfig{Metrics: h}))
+				e.arena.SetMetrics(h)
+				return e
+			},
+		},
 	}
 }
 
 // metricCols are the per-algorithm counter columns of a metrics table:
 // wall time plus the counter deltas of the reported run, normalized per
-// 1000 transfers so cells stay comparable across cell sizes.
-var metricCols = []string{"ns/op", "casfail/k", "spins/k", "parks/k", "unparks/k", "sweeps/k"}
+// 1000 transfers so cells stay comparable across cell sizes. elimhit/k
+// and steal/k stay zero for the unstriped, arena-less algorithms.
+var metricCols = []string{"ns/op", "casfail/k", "spins/k", "parks/k", "unparks/k", "sweeps/k", "elimhit/k", "steal/k"}
 
 func metricCells(ns float64, d metrics.Snapshot, transfers int64) []float64 {
 	perK := func(v int64) float64 { return float64(v) * 1000 / float64(transfers) }
@@ -48,6 +68,8 @@ func metricCells(ns float64, d metrics.Snapshot, transfers int64) []float64 {
 		perK(d.Get(metrics.Parks)),
 		perK(d.Get(metrics.Unparks)),
 		perK(d.Get(metrics.CleanSweeps)),
+		perK(d.Get(metrics.ElimHits)),
+		perK(d.Get(metrics.ShardSteals)),
 	}
 }
 

@@ -106,6 +106,25 @@ func TestHandoffAllocBudget(t *testing.T) {
 			t.Errorf("allocs per transfer/take pair = %v, want at most 2", got)
 		}
 	})
+	t.Run("Exchanger", func(t *testing.T) {
+		// The exchanger's boxes are pooled like the dual structures' item
+		// boxes, so a steady-state exchange pair recycles both sides' boxes
+		// and allocates at most the occasional pool refill. Under -race
+		// sync.Pool drops a quarter of Puts by design; with two pool
+		// round-trips per pair that costs up to one extra allocation, so the
+		// budget widens there.
+		budget := 2.0
+		if raceEnabled {
+			budget = 3
+		}
+		e := exchanger.New[int64]()
+		got := measurePairAllocs(t,
+			func(v int64) { e.Exchange(v) },
+			func() int64 { return e.Exchange(0) })
+		if got > budget {
+			t.Errorf("allocs per exchange pair = %v, want at most %v", got, budget)
+		}
+	})
 }
 
 // TestOfferPollMissesDoNotAllocate pins the other hot path the pools serve:

@@ -191,13 +191,12 @@ func (q *DualStack[T]) transfer(isData bool, v T, deadline time.Time, cancel <-c
 	return zero, OK
 }
 
-// engage is engageWait with unconditional waiting, for the ticket API. It
-// panics on a closed stack (the reservation request operations have no
-// status channel to report Closed through).
-func (q *DualStack[T]) engage(v T, mode uint8) (T, *snode[T]) {
+// engageReserve is engageWait with unconditional waiting, for the ticket
+// API. A closed stack is reported as the Closed status (node nil).
+func (q *DualStack[T]) engageReserve(v T, mode uint8) (T, *snode[T], Status) {
 	imm, s, st := q.engageWait(v, mode, func() bool { return true })
 	if st == Closed {
-		panic(errClosedDemand)
+		return imm, nil, Closed
 	}
 	if s != nil && q.closed.Load() {
 		// Close may have raced our push and finished its eviction
@@ -207,7 +206,7 @@ func (q *DualStack[T]) engage(v T, mode uint8) (T, *snode[T]) {
 		// normally; otherwise Await reports Closed and Abort succeeds.
 		s.match.CompareAndSwap(nil, q.closedMark)
 	}
-	return imm, s
+	return imm, s, OK
 }
 
 // engageWait is the lock-free half of a transfer: it either completes

@@ -1,0 +1,153 @@
+package exchanger
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"synchq/internal/metrics"
+)
+
+// adaptor is the contention controller of an adaptive elimination arena.
+// It replaces the static NewEliminating knobs (fixed slot count, fixed
+// patience) with two quantities tuned online from one cheap signal — an
+// EWMA of CAS races lost per arena attempt, the same calibrator pattern
+// internal/spin uses for the spin-before-park budget:
+//
+//   - width: how many arena slots are active. One slot when quiet (every
+//     party meets at the main slot, so two lonely parties cannot miss each
+//     other), one more slot per unit of average lost races per attempt —
+//     Hendler/Shavit-style widening under load, narrowing when it lifts.
+//   - patience: how long one arena attempt may wait for a partner.
+//     Multiplicative increase while attempts are hitting (elimination is
+//     absorbing traffic the backing structure never sees), decay on quiet
+//     misses, collapsing to zero — direct hand-off, no arena detour — when
+//     the structure is uncontended and the arena only adds latency.
+//
+// Collapsed mode is not permanent: every adProbeEvery-th caller probes the
+// arena at the floor patience, so a contention burst re-opens the arena
+// within a bounded number of operations.
+//
+// All words are read-modify-written racily (lost updates only soften the
+// signal, exactly as in spin.Calibrator); the struct is padded so the hot
+// words do not false-share with neighbors.
+type adaptor struct {
+	_        [64]byte
+	ewma     atomic.Uint64 // fixed-point lost-races-per-attempt EWMA
+	width    atomic.Uint32 // active arena slots, 1..maxWidth
+	patience atomic.Int64  // per-attempt patience in ns; 0 = collapsed
+	probe    atomic.Uint32 // collapsed-mode attempt counter
+	_        [64]byte
+	maxWidth uint32
+}
+
+const (
+	// adShift is the fixed-point fraction width of the contention EWMA;
+	// adAlpha makes the smoothing factor α = 1/8.
+	adShift = 8
+	adAlpha = 3
+	// adSigCap bounds one attempt's contribution to the EWMA so a single
+	// pathological attempt cannot saturate the signal.
+	adSigCap = 16
+	// adFloor is the probe patience: the smallest interval worth waiting
+	// in a slot at all (below this a partner cannot plausibly arrive).
+	adFloor = time.Microsecond
+	// adCeil caps the patience ramp under sustained hits.
+	adCeil = 16 * time.Microsecond
+	// adProbeEvery is the collapsed-mode re-probe period: one attempt in
+	// this many pays a floor-patience probe to re-sense contention.
+	adProbeEvery = 64
+)
+
+// newAdaptor returns an adaptor for an arena of maxWidth slots, starting
+// narrow (one active slot) and curious (floor patience).
+func newAdaptor(maxWidth int) *adaptor {
+	a := &adaptor{maxWidth: uint32(maxWidth)}
+	a.width.Store(1)
+	a.patience.Store(int64(adFloor))
+	return a
+}
+
+// adaptiveMaxWidth sizes an adaptive arena's slot ceiling from the
+// machine: contention spreading cannot use more slots than there are
+// hardware threads to collide, and at least two slots keeps an excursion
+// slot available.
+func adaptiveMaxWidth() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 2 {
+		n = 2
+	}
+	if n > 64 {
+		n = 64
+	}
+	return n
+}
+
+// attempt returns the patience for the next arena attempt and whether the
+// arena should be tried at all. In collapsed mode only every
+// adProbeEvery-th caller probes; everyone else goes straight to the
+// backing structure.
+func (a *adaptor) attempt() (time.Duration, bool) {
+	if p := a.patience.Load(); p > 0 {
+		return time.Duration(p), true
+	}
+	if a.probe.Add(1)%adProbeEvery == 0 {
+		return adFloor, true
+	}
+	return 0, false
+}
+
+// observe feeds one completed arena attempt back into the controller: hit
+// reports whether a partner was met, fails how many CAS races the attempt
+// lost along the way. The ArenaWidth gauge on m tracks width changes.
+func (a *adaptor) observe(hit bool, fails int, m *metrics.Handle) {
+	sig := uint64(fails)
+	if sig > adSigCap {
+		sig = adSigCap
+	}
+	e := a.ewma.Load()
+	e += (sig << adShift >> adAlpha) - (e >> adAlpha)
+	a.ewma.Store(e)
+
+	w := uint32(1 + (e >> adShift))
+	if w > a.maxWidth {
+		w = a.maxWidth
+	}
+	if w != a.width.Load() {
+		a.width.Store(w)
+		m.Set(metrics.ArenaWidth, int64(w))
+	}
+
+	p := a.patience.Load()
+	switch {
+	case hit:
+		if p < int64(adFloor) {
+			p = int64(adFloor)
+		} else {
+			p *= 2
+		}
+		if p > int64(adCeil) {
+			p = int64(adCeil)
+		}
+	case e>>adShift >= 1:
+		// Contended miss: the attempt was unlucky, not pointless — hold
+		// at the floor so the arena keeps absorbing what it can.
+		if p < int64(adFloor) {
+			p = int64(adFloor)
+		}
+	default:
+		// Quiet miss: decay toward direct hand-off.
+		p /= 2
+		if p < int64(adFloor) {
+			p = 0
+		}
+	}
+	a.patience.Store(p)
+}
+
+// Width returns the arena's current active slot count (for tests and
+// monitoring).
+func (a *adaptor) Width() int { return int(a.width.Load()) }
+
+// Patience returns the current per-attempt patience (zero = collapsed).
+func (a *adaptor) Patience() time.Duration { return time.Duration(a.patience.Load()) }

@@ -1,0 +1,160 @@
+package exchanger
+
+import (
+	"testing"
+
+	"synchq/internal/metrics"
+)
+
+// These tests drive the adaptor through its observe/attempt feedback loop
+// directly — the arena integration is covered by the arena tests; here we
+// pin the controller's three behaviors: widening under lost races,
+// collapsing when quiet, and the bounded re-probe out of collapse.
+
+func TestAdaptorWidensUnderContention(t *testing.T) {
+	h := metrics.New()
+	a := newAdaptor(8)
+	if a.Width() != 1 {
+		t.Fatalf("initial width = %d, want 1", a.Width())
+	}
+	for i := 0; i < 100; i++ {
+		a.observe(true, 8, h)
+	}
+	if w := a.Width(); w < 2 {
+		t.Errorf("width after sustained lost races = %d, want >= 2", w)
+	}
+	if g := h.Snapshot().Get(metrics.ArenaWidth); g < 2 {
+		t.Errorf("ArenaWidth gauge = %d, want >= 2", g)
+	}
+	// The EWMA decays when the contention lifts: quiet hits narrow again.
+	for i := 0; i < 200; i++ {
+		a.observe(true, 0, h)
+	}
+	if w := a.Width(); w != 1 {
+		t.Errorf("width after contention lifted = %d, want 1", w)
+	}
+}
+
+func TestAdaptorWidthRespectsCeiling(t *testing.T) {
+	h := metrics.New()
+	a := newAdaptor(3)
+	for i := 0; i < 200; i++ {
+		a.observe(true, adSigCap, h)
+	}
+	if w := a.Width(); w > 3 {
+		t.Errorf("width = %d exceeds maxWidth 3", w)
+	}
+}
+
+func TestAdaptorPatienceRampsOnHitsAndCollapsesWhenQuiet(t *testing.T) {
+	h := metrics.New()
+	a := newAdaptor(8)
+	for i := 0; i < 20; i++ {
+		a.observe(true, 0, h)
+	}
+	if p := a.Patience(); p != adCeil {
+		t.Errorf("patience after sustained hits = %v, want ceiling %v", p, adCeil)
+	}
+	// Quiet misses (no lost races, no partner) halve patience down to zero:
+	// the arena costs latency and absorbs nothing, so it collapses.
+	for i := 0; i < 20; i++ {
+		a.observe(false, 0, h)
+	}
+	if p := a.Patience(); p != 0 {
+		t.Errorf("patience after sustained quiet misses = %v, want 0 (collapsed)", p)
+	}
+}
+
+func TestAdaptorContendedMissHoldsFloor(t *testing.T) {
+	h := metrics.New()
+	a := newAdaptor(8)
+	// Sustained misses that still lose CAS races mean traffic is present;
+	// the controller must keep probing at the floor instead of collapsing.
+	for i := 0; i < 50; i++ {
+		a.observe(false, 4, h)
+	}
+	if p := a.Patience(); p < adFloor {
+		t.Errorf("patience under contended misses = %v, want >= floor %v", p, adFloor)
+	}
+}
+
+func TestAdaptorCollapsedModeReprobes(t *testing.T) {
+	h := metrics.New()
+	a := newAdaptor(8)
+	for i := 0; i < 20; i++ {
+		a.observe(false, 0, h)
+	}
+	if p, try := a.attempt(); try {
+		t.Fatalf("collapsed adaptor granted an attempt immediately (patience %v)", p)
+	}
+	// Within one probe period some caller must be let through at the floor
+	// patience, so a contention burst re-opens the arena.
+	probed := false
+	for i := 0; i < adProbeEvery+1; i++ {
+		if p, try := a.attempt(); try {
+			probed = true
+			if p != adFloor {
+				t.Errorf("re-probe patience = %v, want floor %v", p, adFloor)
+			}
+			break
+		}
+	}
+	if !probed {
+		t.Errorf("no re-probe within %d collapsed attempts", adProbeEvery+1)
+	}
+	// A hit on the probe re-opens the arena for everyone.
+	a.observe(true, 0, h)
+	if _, try := a.attempt(); !try {
+		t.Error("arena still collapsed after a successful probe")
+	}
+}
+
+// TestArenaAdaptiveEndToEnd exercises the adaptive arena through its public
+// TryGive/TryTake faces: concurrent giver/taker pairs must exchange values
+// through the arena (or report a miss, never a wrong value), and the
+// controller must stay within its width bounds throughout.
+func TestArenaAdaptiveEndToEnd(t *testing.T) {
+	a := NewArenaAdaptive[int64](0)
+	if !a.Adaptive() {
+		t.Fatal("NewArenaAdaptive returned a non-adaptive arena")
+	}
+	const n = 2000
+	done := make(chan int64, 1)
+	go func() {
+		var got int64
+		for i := 0; i < n; i++ {
+			if v, ok := a.TryTakeAdaptive(); ok {
+				got += v
+			}
+		}
+		done <- got
+	}()
+	var gave int64
+	for i := 0; i < n; i++ {
+		if a.TryGiveAdaptive(1) {
+			gave++
+		}
+		if w := a.Width(); w < 1 || w > adaptiveMaxWidth() {
+			t.Fatalf("width %d outside [1, %d]", w, adaptiveMaxWidth())
+		}
+	}
+	got := <-done
+	// Every value a giver handed off must have reached exactly one taker:
+	// takers saw `got` ones, and no more than `gave` were handed in. The
+	// remainder can drain to at most the arena's in-flight capacity.
+	if got > gave {
+		t.Errorf("takers received %d values, givers handed off only %d", got, gave)
+	}
+	if miss := gave - got; miss > int64(adaptiveMaxWidth()) {
+		t.Errorf("%d given values unaccounted for (> arena capacity %d)", miss, adaptiveMaxWidth())
+	}
+	// Give the unpaired side patience 0 going forward; drain any resident.
+	for i := 0; i < adaptiveMaxWidth()+1; i++ {
+		if v, ok := a.TryTake(0); ok {
+			got += v
+		}
+	}
+	if got != gave {
+		t.Errorf("after drain: takers received %d, givers handed off %d", got, gave)
+	}
+}

@@ -15,6 +15,7 @@ package exchanger
 import (
 	"math/rand/v2"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -59,12 +60,23 @@ type slot[T any] struct {
 	_ [64]byte
 }
 
-// xbox boxes an exchanged value. The trailing pad guarantees every
-// allocation a unique address even when T is zero-sized, so pointer
-// identity against the hole sentinels is always meaningful.
+// xbox boxes an exchanged value. The pooled flag doubles as the padding
+// byte that guarantees every allocation a unique address even when T is
+// zero-sized, so pointer identity against the hole sentinels is always
+// meaningful.
+//
+// Boxes with pooled set circulate through the exchanger's box pool under
+// the scrub-before-pool doctrine: a box is recycled only by the single
+// party that read its value (ownership transfers at the hole CAS, and the
+// winner of that CAS is the only reader), or by its owner when the value
+// never transferred (the owner's hole was poisoned first, so no fulfiller
+// can reach the box). Hole CASes always compare against nil, never against
+// a box address, so recycling boxes cannot reintroduce ABA; the waiter
+// nodes, whose addresses ARE CAS compare values in the slot words, stay
+// GC-only (see DESIGN.md "Node and parker lifecycle").
 type xbox[T any] struct {
-	v T
-	_ byte
+	v      T
+	pooled bool
 }
 
 // Exchanger lets pairs of goroutines swap values: each party presents a
@@ -78,6 +90,12 @@ type Exchanger[T any] struct {
 	// asArena restricts meetings to complementary parties (data with
 	// request); a standalone exchanger lets any two parties meet.
 	asArena bool
+	// ad, when non-nil, adapts the active slot range and per-attempt
+	// patience to observed contention (see adaptor); nil pins the static
+	// full-width policy.
+	ad *adaptor
+	// bpool recycles pooled value boxes (see xbox).
+	bpool sync.Pool
 	// m receives the instrumentation counters; nil disables them.
 	m *metrics.Handle
 	// f injects deterministic faults at the CAS sites; nil disables.
@@ -88,6 +106,9 @@ type Exchanger[T any] struct {
 // e for chaining. Call before the exchanger is shared between goroutines.
 func (e *Exchanger[T]) SetMetrics(h *metrics.Handle) *Exchanger[T] {
 	e.m = h
+	if e.ad != nil {
+		h.Set(metrics.ArenaWidth, int64(e.ad.Width()))
+	}
 	return e
 }
 
@@ -127,31 +148,68 @@ func NewSize[T any](slots int) *Exchanger[T] {
 	return &Exchanger[T]{arena: make([]slot[T], slots), canceled: new(xbox[T]), taken: new(xbox[T])}
 }
 
+// getBox returns a value box holding v, recycled from the box pool when
+// possible.
+func (e *Exchanger[T]) getBox(v T) *xbox[T] {
+	if x, _ := e.bpool.Get().(*xbox[T]); x != nil {
+		e.m.Inc(metrics.NodeReuses)
+		x.v = v
+		return x
+	}
+	e.m.Inc(metrics.NodeAllocs)
+	return &xbox[T]{v: v, pooled: true}
+}
+
+// putBox recycles a box whose value has been consumed (or never
+// transferred). Only boxes the exchanger itself issued are pooled — the
+// pooled flag excludes the sentinels and caller-built boxes — and the
+// value is scrubbed first so the pool never retains user data.
+func (e *Exchanger[T]) putBox(x *xbox[T]) {
+	if x == nil || !x.pooled {
+		return
+	}
+	var zero T
+	x.v = zero
+	e.bpool.Put(x)
+}
+
 // Exchange presents v and blocks until a partner presents its own value,
 // then returns the partner's value.
 func (e *Exchanger[T]) Exchange(v T) T {
-	x, _ := e.exchange(&xbox[T]{v: v}, true, time.Time{}, nil)
-	return x.v
+	x, _ := e.exchange(e.getBox(v), true, time.Time{}, nil)
+	out := x.v
+	e.putBox(x) // we are the box's sole reader: consume and recycle
+	return out
 }
 
 // ExchangeTimeout is Exchange with patience d; ok is false on timeout.
 func (e *Exchanger[T]) ExchangeTimeout(v T, d time.Duration) (T, bool) {
-	x, st := e.exchange(&xbox[T]{v: v}, true, time.Now().Add(d), nil)
+	b := e.getBox(v)
+	x, st := e.exchange(b, true, time.Now().Add(d), nil)
 	if st != OK {
+		// The hole was poisoned before any fulfiller could deposit, so
+		// our datum never transferred and the box is still ours.
+		e.putBox(b)
 		var zero T
 		return zero, false
 	}
-	return x.v, true
+	out := x.v
+	e.putBox(x)
+	return out, true
 }
 
 // ExchangeCancel is Exchange abandoned when cancel fires.
 func (e *Exchanger[T]) ExchangeCancel(v T, cancel <-chan struct{}) (T, Status) {
-	x, st := e.exchange(&xbox[T]{v: v}, true, time.Time{}, cancel)
+	b := e.getBox(v)
+	x, st := e.exchange(b, true, time.Time{}, cancel)
 	if st != OK {
+		e.putBox(b) // never transferred (see ExchangeTimeout)
 		var zero T
 		return zero, st
 	}
-	return x.v, OK
+	out := x.v
+	e.putBox(x)
+	return out, OK
 }
 
 // exchange is the engine shared by the standalone Exchanger and the Arena.
@@ -160,7 +218,20 @@ func (e *Exchanger[T]) ExchangeCancel(v T, cancel <-chan struct{}) (T, Status) {
 // on the main slot — are strictly spin-bounded, after which the party falls
 // back to slot 0, the paper's "fall back to the main location" rule. This
 // guarantees that two unbounded parties eventually meet.
+//
+// When an adaptor is attached, every attempt reports its outcome and how
+// many CAS races it lost, feeding the contention EWMA that reshapes the
+// active slot range and the arena patience.
 func (e *Exchanger[T]) exchange(v *xbox[T], isData bool, deadline time.Time, cancel <-chan struct{}) (*xbox[T], Status) {
+	fails := 0
+	x, st := e.exchangeCounting(v, isData, deadline, cancel, &fails)
+	if e.ad != nil {
+		e.ad.observe(st == OK, fails, e.m)
+	}
+	return x, st
+}
+
+func (e *Exchanger[T]) exchangeCounting(v *xbox[T], isData bool, deadline time.Time, cancel <-chan struct{}, fails *int) (*xbox[T], Status) {
 	me := &xnode[T]{mine: v, isData: isData}
 	idx := 0
 	for {
@@ -184,6 +255,8 @@ func (e *Exchanger[T]) exchange(v *xbox[T], isData bool, deadline time.Time, can
 				// Injected collision on the main slot: take the
 				// excursion arc a real lost claim would take.
 				e.m.Inc(metrics.CASFailEnqueue)
+				*fails++
+				e.f.Preempt(fault.XArenaPause)
 				idx = e.outerSlot()
 				continue
 			}
@@ -194,8 +267,12 @@ func (e *Exchanger[T]) exchange(v *xbox[T], isData bool, deadline time.Time, can
 				}
 				return nil, st
 			}
-			// Collision on the main slot: brief excursion.
+			// Collision on the main slot: brief excursion. The pause
+			// site holds this window — collision observed, excursion
+			// not yet taken — open for the chaos schedules.
 			e.m.Inc(metrics.CASFailEnqueue)
+			*fails++
+			e.f.Preempt(fault.XArenaPause)
 			idx = e.outerSlot()
 		case cur == nil:
 			if s.n.CompareAndSwap(nil, me) {
@@ -207,6 +284,7 @@ func (e *Exchanger[T]) exchange(v *xbox[T], isData bool, deadline time.Time, can
 				me = &xnode[T]{mine: v, isData: isData}
 			} else {
 				e.m.Inc(metrics.CASFailEnqueue)
+				*fails++
 			}
 			idx = 0
 		case !e.asArena || cur.isData != isData:
@@ -215,6 +293,7 @@ func (e *Exchanger[T]) exchange(v *xbox[T], isData bool, deadline time.Time, can
 				// Injected lost claim: retry from a fresh look at
 				// the slot, as after a real loss.
 				e.m.Inc(metrics.CASFailFulfill)
+				*fails++
 				continue
 			}
 			if s.n.CompareAndSwap(cur, nil) {
@@ -229,8 +308,10 @@ func (e *Exchanger[T]) exchange(v *xbox[T], isData bool, deadline time.Time, can
 				// Partner canceled between claim and
 				// fulfill; keep looking.
 				e.m.Inc(metrics.CASFailFulfill)
+				*fails++
 			} else {
 				e.m.Inc(metrics.CASFailFulfill)
+				*fails++
 			}
 		default:
 			// Same-mode occupant (arena mode): look elsewhere,
@@ -244,13 +325,20 @@ func (e *Exchanger[T]) exchange(v *xbox[T], isData bool, deadline time.Time, can
 	}
 }
 
-// outerSlot picks a random non-main slot, or the main slot if the arena
-// has only one.
+// outerSlot picks a random non-main slot within the active width (the full
+// arena under the static policy, the adaptor's current width otherwise),
+// or the main slot if only one slot is active.
 func (e *Exchanger[T]) outerSlot() int {
-	if len(e.arena) <= 1 {
+	w := len(e.arena)
+	if e.ad != nil {
+		if aw := e.ad.Width(); aw < w {
+			w = aw
+		}
+	}
+	if w <= 1 {
 		return 0
 	}
-	return 1 + rand.IntN(len(e.arena)-1)
+	return 1 + rand.IntN(w-1)
 }
 
 // awaitBrief spins for a bounded interval waiting for a partner at an

@@ -83,6 +83,16 @@ const (
 	// SCloseRacePause is the same window in the dual stack's push arm:
 	// between the closed check and the head push CAS.
 	SCloseRacePause
+	// XArenaPause preempts a party that just lost the main-slot claim
+	// race, between the collision and its excursion to an outer slot —
+	// the window in which the adaptive arena's contention signal is being
+	// formed and other parties reshape the active slot range under it.
+	XArenaPause
+	// ShardStealCAS is a sharded fabric's steal-probe claim: an injected
+	// failure makes the scanning operation treat one shard's probe as a
+	// lost race and move on to the next shard, exercising the rescue
+	// loop's keep-searching arc.
+	ShardStealCAS
 	// ParkSpurious is a spurious unpark: park.Parker.Wait returns
 	// Unparked without a permit, forcing waiters to re-validate state.
 	ParkSpurious
@@ -110,6 +120,8 @@ var siteNames = [NumSites]string{
 	XFulfillPause:   "x-fulfill-pause",
 	QCloseRacePause: "q-close-race-pause",
 	SCloseRacePause: "s-close-race-pause",
+	XArenaPause:     "x-arena-pause",
+	ShardStealCAS:   "shard-steal-cas",
 	ParkSpurious:    "park-spurious",
 	TimerSkew:       "timer-skew",
 }

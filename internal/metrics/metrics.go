@@ -88,6 +88,22 @@ const (
 	// current untimed spin budget (see internal/spin.Calibrator), written
 	// with Set. Zero when the structure uses a static spin policy.
 	SpinBudget
+	// ElimHits counts hand-offs completed in an elimination arena — pairs
+	// that met in a slot and never touched the backing structure's
+	// head/tail word.
+	ElimHits
+	// ElimMisses counts elimination attempts that expired (or were skipped
+	// by the adaptive front-end's collapse-to-direct policy after probing)
+	// and fell through to the backing structure.
+	ElimMisses
+	// ArenaWidth is a gauge: the adaptive arena's current active slot
+	// count (see internal/exchanger.adaptor), written with Set. Zero when
+	// the arena runs the static fixed-width policy.
+	ArenaWidth
+	// ShardSteals counts hand-offs a sharded fabric completed on a shard
+	// other than the operation's home shard — the work-stealing rescue
+	// that keeps waiters from stranding on an idle shard.
+	ShardSteals
 
 	// NumIDs is the number of counters in a Handle.
 	NumIDs
@@ -110,6 +126,10 @@ var names = [NumIDs]string{
 	NodeAllocs:     "node-allocs",
 	NodeReuses:     "node-reuses",
 	SpinBudget:     "spin-budget",
+	ElimHits:       "elim-hits",
+	ElimMisses:     "elim-misses",
+	ArenaWidth:     "arena-width",
+	ShardSteals:    "shard-steals",
 }
 
 // String returns the counter's stable snake-ish name (used as expvar map

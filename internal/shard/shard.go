@@ -1,0 +1,521 @@
+// Package shard implements the sharded hand-off fabric: N independent core
+// dual structures composed behind one synchronous-queue surface, so that
+// the single contended head/tail word the paper identifies as the
+// scalability limit becomes N words on N cache lines.
+//
+// Dispatch is striped: each operation draws a random home shard (per-P
+// randomness, so the choice itself contends on nothing) and first sweeps
+// the shards the presence summaries flag as occupied, probing with a
+// zero-patience Offer or Poll, starting at home. A probe that succeeds on
+// a foreign shard is a steal: the operation rescued a waiter another
+// stripe left behind, counted by metrics.ShardSteals. Only when the sweep
+// finds no counterpart anywhere does the operation commit to waiting on
+// its home shard, through a Dekker-style protocol — link a reservation,
+// announce the shard's bit in the own-side summary, reload the opposite
+// summary — that makes cross-shard stranding impossible without any
+// timer-based rescue: of two parties racing to commit on different
+// shards, at least one's reload observes the other's announced bit, and
+// the probe it then launches finds the other's already-linked
+// reservation. The observer aborts its own reservation and pairs; the
+// observed party is fulfilled where it waits.
+//
+// The price of sharding is the pairing discipline: FIFO (fair) order holds
+// only per shard. Two producers that wait on different shards may be
+// fulfilled in either order, whatever their arrival order; the fabric's
+// contract is "per-shard FIFO, globally none", which is the standard
+// relaxation scalable queues trade for cache-line independence (cf. the
+// distributed-queue designs surveyed in PAPERS.md). Synchrony and
+// conservation — the §2.2 dual-structure contract — are NOT relaxed:
+// every transfer still happens inside one shard's linearized hand-off,
+// which the history-bridge tests verify end to end.
+//
+// Close composes per shard: Close closes every shard, each shard's own
+// eviction sweep wakes its waiters with the Closed status, and the
+// fabric's waiting paths return it unchanged. Fault injection composes
+// the same way — the shards share the fabric's injector, and the fabric
+// adds its own site (fault.ShardStealCAS) that makes an opportunistic
+// steal probe lose its race and move on, exercising the keep-searching
+// arc of the sweep. The commit protocol's own probes are exempt: they
+// carry the no-stranding guarantee, so a manufactured lost race there
+// would inject a deadlock no real execution can produce.
+package shard
+
+import (
+	"math/bits"
+	"math/rand/v2"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"synchq/internal/core"
+	"synchq/internal/fault"
+	"synchq/internal/metrics"
+)
+
+// Dual is the surface the fabric requires of each shard — exactly the
+// method set both core dual structures provide.
+type Dual[T any] interface {
+	Put(T)
+	Take() T
+	PutDeadline(T, time.Time, <-chan struct{}) core.Status
+	TakeDeadline(time.Time, <-chan struct{}) (T, core.Status)
+	Offer(T) bool
+	OfferTimeout(T, time.Duration) bool
+	Poll() (T, bool)
+	PollTimeout(time.Duration) (T, bool)
+	HasWaitingConsumer() bool
+	HasWaitingProducer() bool
+	IsEmpty() bool
+	ReserveTake() (T, core.Ticket[T], bool)
+	ReservePut(T) (core.Ticket[T], bool)
+	ReserveTakeStatus() (T, core.Ticket[T], bool, core.Status)
+	ReservePutStatus(T) (core.Ticket[T], bool, core.Status)
+	Close()
+	Closed() bool
+}
+
+// errClosedDemand matches the core structures' closed-demand panic text
+// (and the public ErrClosed message) so every closed-queue panic reads the
+// same regardless of sharding.
+const errClosedDemand = "synchq: queue closed"
+
+// Fabric composes n power-of-two shards behind the synchronous queue
+// surface. Create one with New; a Fabric must not be copied after first
+// use.
+type Fabric[T any] struct {
+	shards []Dual[T]
+	mask   int
+	// m receives the fabric's counters (ShardSteals; the shards usually
+	// share the same handle so per-shard events aggregate); nil disables.
+	m *metrics.Handle
+	// f injects deterministic faults at the steal-probe site; nil
+	// disables.
+	f *fault.Injector
+
+	// prod and cons are presence summaries: bit i set means shard i MAY
+	// hold a waiting producer (prod) or consumer (cons). A waiter sets its
+	// shard's bit before committing, so a sweep is one atomic load plus
+	// probes of only the flagged shards — not a walk of every shard. The
+	// summaries are conservative, never authoritative: a set bit can be
+	// stale (the waiter was fulfilled, timed out, or has announced but not
+	// yet enqueued), and probes clear bits they find stale. A missed
+	// pairing due to a stale or not-yet-visible bit is always repaired by
+	// the rescue loop, so the summaries are purely an optimization — the
+	// steal sweep's correctness never depends on them being exact.
+	//
+	// The commit path orders "set own bit, then reload the opposite
+	// summary" (Dekker-style): of two parties racing to commit on
+	// different shards, at least one's reload observes the other's bit and
+	// probes it, shrinking the mutual-stranding window from a rescue round
+	// to the enqueue latency.
+	_    [64]byte // keep the hot summaries off the shards header's line
+	prod atomic.Uint64
+	cons atomic.Uint64
+	_    [64]byte
+}
+
+// DefaultShards returns the platform shard count: GOMAXPROCS rounded up to
+// a power of two, capped at 64 — one shard per hardware thread that could
+// be hammering the structure, and a mask-friendly size.
+func DefaultShards() int {
+	return ceilPow2(runtime.GOMAXPROCS(0))
+}
+
+// ceilPow2 rounds n up to a power of two in [1, 64].
+func ceilPow2(n int) int {
+	p := 1
+	for p < n && p < 64 {
+		p <<= 1
+	}
+	return p
+}
+
+// New returns a fabric of n shards (0 or negative: DefaultShards; any
+// other value is rounded up to a power of two) built by mk, which is
+// called once per shard. Attach metrics and fault injection to the shards
+// inside mk — sharing one handle across shards keeps the counter set
+// aggregated, which is how the -metrics tables expect it.
+func New[T any](n int, mk func(i int) Dual[T]) *Fabric[T] {
+	if n <= 0 {
+		n = DefaultShards()
+	} else {
+		n = ceilPow2(n)
+	}
+	f := &Fabric[T]{shards: make([]Dual[T], n), mask: n - 1}
+	for i := range f.shards {
+		f.shards[i] = mk(i)
+	}
+	return f
+}
+
+// SetMetrics attaches an instrumentation handle for the fabric-level
+// counters (nil disables) and returns f for chaining. Call before the
+// fabric is shared between goroutines.
+func (f *Fabric[T]) SetMetrics(h *metrics.Handle) *Fabric[T] {
+	f.m = h
+	return f
+}
+
+// SetFault attaches a fault injector for the steal-probe site (nil
+// disables) and returns f for chaining. Call before the fabric is shared
+// between goroutines.
+func (f *Fabric[T]) SetFault(inj *fault.Injector) *Fabric[T] {
+	f.f = inj
+	return f
+}
+
+// Metrics returns the fabric's instrumentation handle (nil when disabled).
+func (f *Fabric[T]) Metrics() *metrics.Handle { return f.m }
+
+// Shards returns the shard count.
+func (f *Fabric[T]) Shards() int { return len(f.shards) }
+
+// Shard returns shard i (for tests and monitoring).
+func (f *Fabric[T]) Shard(i int) Dual[T] { return f.shards[i] }
+
+// home draws a random home shard. math/rand/v2's global generator is
+// per-P, so striping itself introduces no shared word — the entire point
+// of the fabric.
+func (f *Fabric[T]) home() int {
+	return int(rand.Uint64()) & f.mask
+}
+
+// sweepPut probes the shards the cons summary flags as holding a waiting
+// consumer, starting at home. Probes that find a flagged shard actually
+// empty clear its stale bit, keeping the summary tight. A critical sweep
+// is exempt from fault injection: it is the reload of the commit
+// protocol's announce-then-recheck handshake, whose probes are what make
+// cross-shard stranding impossible, so an injected "lost race" there would
+// manufacture a deadlock no real execution can produce.
+func (f *Fabric[T]) sweepPut(home int, v T, critical bool) bool {
+	avail := f.cons.Load()
+	for avail != 0 {
+		i := nearestBit(avail, home)
+		avail &^= 1 << uint(i)
+		if !critical && i != home && f.f.FailCAS(fault.ShardStealCAS) {
+			continue // injected lost steal race: move to the next shard
+		}
+		// Check occupancy before probing: a stale hint costs one load here
+		// instead of a full failed hand-off attempt. A linked reservation is
+		// visible to HasWaitingConsumer the instant it is enqueued, so the
+		// critical sweep's no-stranding guarantee survives the shortcut.
+		if f.shards[i].HasWaitingConsumer() {
+			if f.shards[i].Offer(v) {
+				if i != home {
+					f.m.Inc(metrics.ShardSteals)
+				}
+				return true
+			}
+		} else {
+			clearBit(&f.cons, 1<<uint(i))
+		}
+	}
+	return false
+}
+
+// sweepTake probes the shards the prod summary flags as holding a waiting
+// producer, starting at home.
+func (f *Fabric[T]) sweepTake(home int, critical bool) (T, bool) {
+	avail := f.prod.Load()
+	for avail != 0 {
+		i := nearestBit(avail, home)
+		avail &^= 1 << uint(i)
+		if !critical && i != home && f.f.FailCAS(fault.ShardStealCAS) {
+			continue
+		}
+		if f.shards[i].HasWaitingProducer() {
+			if v, ok := f.shards[i].Poll(); ok {
+				if i != home {
+					f.m.Inc(metrics.ShardSteals)
+				}
+				return v, true
+			}
+		} else {
+			clearBit(&f.prod, 1<<uint(i))
+		}
+	}
+	var zero T
+	return zero, false
+}
+
+// nearestBit returns the index of a set bit of avail (avail != 0),
+// preferring home, then the bits cyclically above it — the same
+// home-first order the unsummarized sweep would visit.
+func nearestBit(avail uint64, home int) int {
+	if avail&(1<<uint(home)) != 0 {
+		return home
+	}
+	rot := avail>>uint(home) | avail<<(64-uint(home))
+	return (home + bits.TrailingZeros64(rot)) & 63
+}
+
+// setBit and clearBit are the summary updates, written as CAS loops (the
+// module predates the atomic Or/And helpers). Lost races only delay a
+// hint, never a transfer.
+func setBit(w *atomic.Uint64, bit uint64) {
+	for {
+		old := w.Load()
+		if old&bit != 0 || w.CompareAndSwap(old, old|bit) {
+			return
+		}
+	}
+}
+
+func clearBit(w *atomic.Uint64, bit uint64) {
+	for {
+		old := w.Load()
+		if old&bit == 0 || w.CompareAndSwap(old, old&^bit) {
+			return
+		}
+	}
+}
+
+// put is the producer engine, built on the commit protocol that makes
+// cross-shard stranding impossible without any timer-based rescue:
+//
+//  1. Opportunistic sweep: pair with a consumer already flagged anywhere.
+//  2. Reserve on the home shard — the node is LINKED before anything is
+//     announced.
+//  3. Announce: set home's bit in the prod summary.
+//  4. Dekker reload: re-read the cons summary. Because every waiter links
+//     then announces then reloads, of any producer/consumer pair racing to
+//     commit on different shards, at least one's reload observes the
+//     other's already-set bit (the bit-sets and reloads are totally
+//     ordered), and the shard it then probes already holds the other's
+//     linked node. A flagged consumer means our datum must come back out
+//     of the reservation first: abort the ticket (an abort that fails
+//     means a fulfiller beat us — we are done) and retry from the sweep.
+//  5. Await the reservation — untimed for a demand put, so the steady
+//     state costs one reservation and one park, with no timer and no
+//     periodic rescue wakeups.
+func (f *Fabric[T]) put(v T, deadline time.Time, cancel <-chan struct{}) core.Status {
+	home := f.home()
+	critical := false
+	for {
+		if f.sweepPut(home, v, critical) {
+			return core.OK
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			// No counterpart and the caller's patience is spent (or was
+			// zero to begin with: a pure Offer).
+			return core.Timeout
+		}
+		tkt, ok, st := f.shards[home].ReservePutStatus(v)
+		if st == core.Closed {
+			return core.Closed
+		}
+		if ok {
+			return core.OK
+		}
+		bit := uint64(1) << uint(home)
+		setBit(&f.prod, bit)
+		if f.cons.Load() != 0 {
+			// The Dekker reload flags a consumer somewhere. Reclaim the
+			// datum and retry through the sweep; critical from here on —
+			// these probes carry the no-stranding guarantee.
+			if !tkt.Abort() {
+				// A fulfiller took the reservation first.
+				tkt.TryFollowup()
+				return core.OK
+			}
+			if !f.shards[home].HasWaitingProducer() {
+				clearBit(&f.prod, bit)
+			}
+			critical = true
+			continue
+		}
+		_, st = tkt.Await(deadline, cancel)
+		if st != core.OK && !f.shards[home].HasWaitingProducer() {
+			// Our bit may now be stale; drop it so sweeps stay tight.
+			clearBit(&f.prod, bit)
+		}
+		return st
+	}
+}
+
+// take is the consumer engine, symmetric to put (with the simplification
+// that a request reservation holds no datum, so the abort arm collects the
+// value directly when a fulfiller wins the race).
+func (f *Fabric[T]) take(deadline time.Time, cancel <-chan struct{}) (T, core.Status) {
+	var zero T
+	home := f.home()
+	critical := false
+	for {
+		if v, ok := f.sweepTake(home, critical); ok {
+			return v, core.OK
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			return zero, core.Timeout
+		}
+		v, tkt, ok, st := f.shards[home].ReserveTakeStatus()
+		if st == core.Closed {
+			return zero, core.Closed
+		}
+		if ok {
+			return v, core.OK
+		}
+		bit := uint64(1) << uint(home)
+		setBit(&f.cons, bit)
+		if f.prod.Load() != 0 {
+			if !tkt.Abort() {
+				v, _ := tkt.TryFollowup()
+				return v, core.OK
+			}
+			if !f.shards[home].HasWaitingConsumer() {
+				clearBit(&f.cons, bit)
+			}
+			critical = true
+			continue
+		}
+		v, st = tkt.Await(deadline, cancel)
+		if st != core.OK && !f.shards[home].HasWaitingConsumer() {
+			clearBit(&f.cons, bit)
+		}
+		return v, st
+	}
+}
+
+// closedStatus reports Closed for operations that must refuse a shut-down
+// fabric before sweeping (a sweep on a closed fabric merely misses, since
+// closed shards refuse zero-patience probes with a false).
+func (f *Fabric[T]) closedStatus() bool { return f.shards[0].Closed() }
+
+// Put transfers v to a consumer, waiting as long as necessary. It panics
+// if the fabric is closed, mirroring the unsharded demand operations.
+func (f *Fabric[T]) Put(v T) {
+	if st := f.put(v, time.Time{}, nil); st == core.Closed {
+		panic(errClosedDemand)
+	}
+}
+
+// Take receives a value from a producer, waiting as long as necessary. It
+// panics if the fabric is closed.
+func (f *Fabric[T]) Take() T {
+	v, st := f.take(time.Time{}, nil)
+	if st == core.Closed {
+		panic(errClosedDemand)
+	}
+	return v
+}
+
+// PutDeadline transfers v, giving up at the deadline (zero: never) or when
+// cancel fires (nil: never).
+func (f *Fabric[T]) PutDeadline(v T, deadline time.Time, cancel <-chan struct{}) core.Status {
+	if f.closedStatus() {
+		return core.Closed
+	}
+	return f.put(v, deadline, cancel)
+}
+
+// TakeDeadline receives a value, giving up at the deadline (zero: never)
+// or when cancel fires (nil: never).
+func (f *Fabric[T]) TakeDeadline(deadline time.Time, cancel <-chan struct{}) (T, core.Status) {
+	if f.closedStatus() {
+		var zero T
+		return zero, core.Closed
+	}
+	return f.take(deadline, cancel)
+}
+
+// Offer transfers v only if a consumer is already waiting on some shard.
+func (f *Fabric[T]) Offer(v T) bool {
+	return f.sweepPut(f.home(), v, false)
+}
+
+// OfferTimeout transfers v, waiting up to d for a consumer.
+func (f *Fabric[T]) OfferTimeout(v T, d time.Duration) bool {
+	if d <= 0 {
+		return f.Offer(v)
+	}
+	return f.put(v, time.Now().Add(d), nil) == core.OK
+}
+
+// Poll receives a value only if a producer is already waiting on some
+// shard.
+func (f *Fabric[T]) Poll() (T, bool) {
+	return f.sweepTake(f.home(), false)
+}
+
+// PollTimeout receives a value, waiting up to d for a producer.
+func (f *Fabric[T]) PollTimeout(d time.Duration) (T, bool) {
+	if d <= 0 {
+		return f.Poll()
+	}
+	v, st := f.take(time.Now().Add(d), nil)
+	return v, st == core.OK
+}
+
+// ReserveTake registers a request for a value: an immediate counterpart on
+// any shard is consumed at once (nil ticket); otherwise the reservation is
+// pinned to the home shard and its ticket returned. A pinned reservation
+// is visible to every producer's sweep, but — unlike the demand operations
+// — its Await has no rescue loop (the ticket belongs to one shard), so
+// callers that mix long-lived reservations from both sides should bound
+// Await and re-reserve, or use the demand operations. Panics if the fabric
+// is closed, like the unsharded reservation requests.
+func (f *Fabric[T]) ReserveTake() (T, core.Ticket[T], bool) {
+	home := f.home()
+	if v, ok := f.sweepTake(home, false); ok {
+		return v, nil, true
+	}
+	// Announce before reserving, exactly as the demand path does, so the
+	// pinned reservation is visible to every producer's sweep.
+	setBit(&f.cons, 1<<uint(home))
+	return f.shards[home].ReserveTake()
+}
+
+// ReservePut offers v to a future consumer, with the same shard-pinning
+// contract as ReserveTake.
+func (f *Fabric[T]) ReservePut(v T) (core.Ticket[T], bool) {
+	home := f.home()
+	if f.sweepPut(home, v, false) {
+		return nil, true
+	}
+	setBit(&f.prod, 1<<uint(home))
+	return f.shards[home].ReservePut(v)
+}
+
+// Close shuts every shard down. Each shard's eviction sweep wakes its own
+// waiters with the Closed status; waiters inside a rescue round observe
+// Closed on their next bounded wait. Close is idempotent and safe to call
+// concurrently with any operation.
+func (f *Fabric[T]) Close() {
+	for _, s := range f.shards {
+		s.Close()
+	}
+}
+
+// Closed reports whether Close has been called.
+func (f *Fabric[T]) Closed() bool { return f.closedStatus() }
+
+// HasWaitingConsumer reports whether a consumer was observed waiting on
+// any shard.
+func (f *Fabric[T]) HasWaitingConsumer() bool {
+	for _, s := range f.shards {
+		if s.HasWaitingConsumer() {
+			return true
+		}
+	}
+	return false
+}
+
+// HasWaitingProducer reports whether a producer was observed waiting on
+// any shard.
+func (f *Fabric[T]) HasWaitingProducer() bool {
+	for _, s := range f.shards {
+		if s.HasWaitingProducer() {
+			return true
+		}
+	}
+	return false
+}
+
+// IsEmpty reports whether every shard was observed empty.
+func (f *Fabric[T]) IsEmpty() bool {
+	for _, s := range f.shards {
+		if !s.IsEmpty() {
+			return false
+		}
+	}
+	return true
+}

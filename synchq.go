@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"synchq/internal/core"
+	"synchq/internal/shard"
 )
 
 // ErrTimeout is returned by deadline-bounded operations whose patience
@@ -89,8 +90,9 @@ type impl[T any] interface {
 // pairs producers and consumers with no buffering: each Put waits for a
 // Take and vice versa. Construct one with NewFair, NewUnfair, or New.
 type SynchronousQueue[T any] struct {
-	impl impl[T]
-	fair bool
+	impl   impl[T]
+	fair   bool
+	shards int
 }
 
 var (
@@ -102,8 +104,10 @@ var (
 type Option func(*config)
 
 type config struct {
-	fair bool
-	wait core.WaitConfig
+	fair    bool
+	sharded bool
+	shards  int
+	wait    core.WaitConfig
 }
 
 // Fair selects FIFO (dual queue) pairing when true, LIFO (dual stack)
@@ -121,6 +125,25 @@ func Spins(timed, untimed int) Option {
 	return func(c *config) { c.wait = core.WaitConfig{TimedSpins: timed, UntimedSpins: untimed} }
 }
 
+// Sharded stripes the queue across n independent dual structures (n is
+// rounded up to a power of two; pass 0 to size from GOMAXPROCS), trading
+// global ordering for multi-core scalability: instead of every hand-off
+// contending on one head/tail word, operations are spread across n cache-
+// independent structures, with a work-stealing sweep guaranteeing that a
+// waiter on one shard is still found by counterparts dispatched to any
+// other.
+//
+// The ordering contract is relaxed accordingly: with Fair(true), FIFO
+// pairing holds only among waiters on the same shard — two producers
+// waiting on different shards may be fulfilled in either order. Synchrony
+// is NOT relaxed: every transfer still pairs exactly one producer with one
+// consumer, with no buffering. Choose sharding when throughput under heavy
+// multi-core contention matters more than a global arrival order; see
+// DESIGN.md for the steal protocol and its fairness bounds.
+func Sharded(n int) Option {
+	return func(c *config) { c.sharded, c.shards = true, n }
+}
+
 // New returns a synchronous queue configured by opts; with no options it is
 // equivalent to NewUnfair.
 func New[T any](opts ...Option) *SynchronousQueue[T] {
@@ -129,9 +152,21 @@ func New[T any](opts ...Option) *SynchronousQueue[T] {
 		o(&c)
 	}
 	q := &SynchronousQueue[T]{fair: c.fair}
-	if c.fair {
+	switch {
+	case c.sharded:
+		fab := shard.New(c.shards, func(int) shard.Dual[T] {
+			if c.fair {
+				return core.NewDualQueue[T](c.wait)
+			}
+			return core.NewDualStack[T](c.wait)
+		})
+		fab.SetMetrics(c.wait.Metrics)
+		fab.SetFault(c.wait.Fault)
+		q.impl = fab
+		q.shards = fab.Shards()
+	case c.fair:
 		q.impl = core.NewDualQueue[T](c.wait)
-	} else {
+	default:
 		q.impl = core.NewDualStack[T](c.wait)
 	}
 	return q
@@ -146,8 +181,19 @@ func NewFair[T any]() *SynchronousQueue[T] { return New[T](Fair(true)) }
 // improve cache and scheduling locality.
 func NewUnfair[T any]() *SynchronousQueue[T] { return New[T](Fair(false)) }
 
-// Fair reports whether this queue pairs waiters in FIFO order.
+// Fair reports whether this queue pairs waiters in FIFO order (per shard,
+// when sharded — see Sharded for the relaxed global contract).
 func (q *SynchronousQueue[T]) Fair() bool { return q.fair }
+
+// Shards returns the number of independent structures the queue is striped
+// across: one for an unsharded queue, the (power-of-two) shard count for a
+// queue built with the Sharded option.
+func (q *SynchronousQueue[T]) Shards() int {
+	if q.shards < 1 {
+		return 1
+	}
+	return q.shards
+}
 
 // Put transfers v to a consumer, waiting as long as necessary for one to
 // arrive.
