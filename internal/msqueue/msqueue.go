@@ -73,8 +73,13 @@ func (q *Queue[T]) Dequeue() (T, bool) {
 			q.tail.CompareAndSwap(t, next)
 			continue
 		}
-		v := next.value
 		if q.head.CompareAndSwap(h, next) {
+			// Read the value only after winning the CAS: the winner is
+			// unique, so no concurrent dequeuer can be zeroing next.value
+			// while we read it. (The 1996 paper reads before the CAS
+			// because its freelist can recycle the node; under GC the node
+			// cannot be reclaimed while we hold it.)
+			v := next.value
 			// Drop the value reference from the new dummy so the
 			// GC is not blocked by long-lived dummies (the paper's
 			// "forget references" pragmatic).

@@ -122,12 +122,17 @@ func TestHistoryBridgeFabric(t *testing.T) {
 	p, c, n := fabricBridgeSizes(t)
 	f := newQueueFabric(4, nil)
 	runFabricBridge(t, f, p, c, n)
-	// Without fault injection the drain leaves nothing behind. (Under
-	// chaos, a canceled waiter's node may stay linked until a later
-	// operation's lazy cleanup, so the chaos bridge skips this check —
-	// conservation is verified from the history either way.)
-	if !f.IsEmpty() {
-		t.Error("fabric not empty after bridge run")
+	// The drain must leave no LIVE node behind — a leftover data node is a
+	// lost value, a leftover reservation a stranded waiter. Structural
+	// emptiness (IsEmpty) is deliberately not asserted: the dual queue's
+	// deferred cleaning legitimately leaves up to one canceled node linked
+	// per shard (a canceled tail cannot be unlinked until a later enqueue;
+	// see cleanMe in core/dualqueue.go), so each shard's live count is
+	// checked instead. Conservation is verified from the history either way.
+	for i := 0; i < f.Shards(); i++ {
+		if n := f.Shard(i).(*core.DualQueue[int64]).Len(); n != 0 {
+			t.Errorf("shard %d holds %d live nodes after bridge run", i, n)
+		}
 	}
 }
 

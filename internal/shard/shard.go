@@ -91,6 +91,11 @@ type Fabric[T any] struct {
 	// f injects deterministic faults at the steal-probe site; nil
 	// disables.
 	f *fault.Injector
+	// closed is published by Close only after every shard has shut down,
+	// so Closed() never leads the last shard: once a caller observes
+	// Closed()==true, no transfer can complete on any shard — the same
+	// linearization the unsharded structures give.
+	closed atomic.Bool
 
 	// prod and cons are presence summaries: bit i set means shard i MAY
 	// hold a waiting producer (prod) or consumer (cons). A waiter sets its
@@ -131,8 +136,10 @@ func ceilPow2(n int) int {
 }
 
 // New returns a fabric of n shards (0 or negative: DefaultShards; any
-// other value is rounded up to a power of two) built by mk, which is
-// called once per shard. Attach metrics and fault injection to the shards
+// other value is rounded up to a power of two and capped at 64, since the
+// presence summaries are single 64-bit words) built by mk, which is
+// called once per shard. Use Shards to read the count actually chosen.
+// Attach metrics and fault injection to the shards
 // inside mk — sharing one handle across shards keeps the counter set
 // aggregated, which is how the -metrics tables expect it.
 func New[T any](n int, mk func(i int) Dual[T]) *Fabric[T] {
@@ -208,6 +215,16 @@ func (f *Fabric[T]) sweepPut(home int, v T, critical bool) bool {
 			}
 		} else {
 			clearBit(&f.cons, 1<<uint(i))
+			// The staleness check and the clear are two steps: a consumer
+			// may link and announce between them, and its announce can be a
+			// no-op when the bit was already set, so the clear would erase a
+			// live hint for good. Re-check and restore — a set bit with a
+			// waiter behind it must stay durable, or the commit protocol's
+			// Dekker reload can miss the waiter forever.
+			if f.shards[i].HasWaitingConsumer() {
+				setBit(&f.cons, 1<<uint(i))
+				avail |= 1 << uint(i)
+			}
 		}
 	}
 	return false
@@ -232,6 +249,12 @@ func (f *Fabric[T]) sweepTake(home int, critical bool) (T, bool) {
 			}
 		} else {
 			clearBit(&f.prod, 1<<uint(i))
+			// Same check-then-clear repair as sweepPut: restore the hint if
+			// a producer linked between the staleness check and the clear.
+			if f.shards[i].HasWaitingProducer() {
+				setBit(&f.prod, 1<<uint(i))
+				avail |= 1 << uint(i)
+			}
 		}
 	}
 	var zero T
@@ -377,8 +400,13 @@ func (f *Fabric[T]) take(deadline time.Time, cancel <-chan struct{}) (T, core.St
 
 // closedStatus reports Closed for operations that must refuse a shut-down
 // fabric before sweeping (a sweep on a closed fabric merely misses, since
-// closed shards refuse zero-patience probes with a false).
-func (f *Fabric[T]) closedStatus() bool { return f.shards[0].Closed() }
+// closed shards refuse zero-patience probes with a false). It reads the
+// fabric-level flag, not shard state: during a concurrent Close the
+// individual shards close in index order, and reporting Closed from a
+// partially closed fabric would let a caller observe Closed()==true while
+// transfers still complete on not-yet-closed shards. Operations racing
+// the shard shutdowns themselves still get core.Closed from their shard.
+func (f *Fabric[T]) closedStatus() bool { return f.closed.Load() }
 
 // Put transfers v to a consumer, waiting as long as necessary. It panics
 // if the fabric is closed, mirroring the unsharded demand operations.
@@ -454,25 +482,89 @@ func (f *Fabric[T]) PollTimeout(d time.Duration) (T, bool) {
 // Await and re-reserve, or use the demand operations. Panics if the fabric
 // is closed, like the unsharded reservation requests.
 func (f *Fabric[T]) ReserveTake() (T, core.Ticket[T], bool) {
+	var zero T
 	home := f.home()
-	if v, ok := f.sweepTake(home, false); ok {
-		return v, nil, true
+	bit := uint64(1) << uint(home)
+	critical := false
+	for {
+		if v, ok := f.sweepTake(home, critical); ok {
+			return v, nil, true
+		}
+		// Announce early — unlike the demand path, which reserves first and
+		// announces second, the pre-link bit narrows the window in which a
+		// producer's Dekker reload misses us. It is only a hint at this
+		// point: a sweep probing in the announce-to-link window sees no
+		// waiter and may clear it, which is why the bit is re-established
+		// below once the reservation has actually linked.
+		setBit(&f.cons, bit)
+		v, tkt, ok := f.shards[home].ReserveTake()
+		if ok {
+			// Paired immediately; drop our announce if it is now stale.
+			if !f.shards[home].HasWaitingConsumer() {
+				clearBit(&f.cons, bit)
+			}
+			return v, nil, true
+		}
+		// The reservation is linked. Re-establish the bit to repair any
+		// clear that raced the pre-link window: from here on announced
+		// implies linked, so the pinned reservation is durably visible to
+		// every producer's sweep (the sweeps restore a set bit they clear
+		// while a waiter is present).
+		setBit(&f.cons, bit)
+		if f.prod.Load() != 0 {
+			// Dekker reload flags a producer somewhere: it may have
+			// committed to waiting before our announce was visible, so no
+			// rescue would find either of us. Abort and retry through the
+			// sweep, exactly as the demand path does.
+			if !tkt.Abort() {
+				v, _ := tkt.TryFollowup()
+				return v, nil, true
+			}
+			if !f.shards[home].HasWaitingConsumer() {
+				clearBit(&f.cons, bit)
+			}
+			critical = true
+			continue
+		}
+		return zero, tkt, false
 	}
-	// Announce before reserving, exactly as the demand path does, so the
-	// pinned reservation is visible to every producer's sweep.
-	setBit(&f.cons, 1<<uint(home))
-	return f.shards[home].ReserveTake()
 }
 
 // ReservePut offers v to a future consumer, with the same shard-pinning
 // contract as ReserveTake.
 func (f *Fabric[T]) ReservePut(v T) (core.Ticket[T], bool) {
 	home := f.home()
-	if f.sweepPut(home, v, false) {
-		return nil, true
+	bit := uint64(1) << uint(home)
+	critical := false
+	for {
+		if f.sweepPut(home, v, critical) {
+			return nil, true
+		}
+		// Early hint; see ReserveTake for the announce/link protocol.
+		setBit(&f.prod, bit)
+		tkt, ok := f.shards[home].ReservePut(v)
+		if ok {
+			if !f.shards[home].HasWaitingProducer() {
+				clearBit(&f.prod, bit)
+			}
+			return nil, true
+		}
+		// Linked: re-establish the bit so a clear that raced the pre-link
+		// window cannot leave the pinned reservation invisible.
+		setBit(&f.prod, bit)
+		if f.cons.Load() != 0 {
+			if !tkt.Abort() {
+				tkt.TryFollowup()
+				return nil, true
+			}
+			if !f.shards[home].HasWaitingProducer() {
+				clearBit(&f.prod, bit)
+			}
+			critical = true
+			continue
+		}
+		return tkt, false
 	}
-	setBit(&f.prod, 1<<uint(home))
-	return f.shards[home].ReservePut(v)
 }
 
 // Close shuts every shard down. Each shard's eviction sweep wakes its own
@@ -483,6 +575,7 @@ func (f *Fabric[T]) Close() {
 	for _, s := range f.shards {
 		s.Close()
 	}
+	f.closed.Store(true)
 }
 
 // Closed reports whether Close has been called.

@@ -126,7 +126,10 @@ func Spins(timed, untimed int) Option {
 }
 
 // Sharded stripes the queue across n independent dual structures (n is
-// rounded up to a power of two; pass 0 to size from GOMAXPROCS), trading
+// rounded up to a power of two and capped at 64, since the fabric's
+// presence summaries are single 64-bit words; pass 0 to size from
+// GOMAXPROCS, with the same cap; the queue's Shards method reports the
+// count actually chosen), trading
 // global ordering for multi-core scalability: instead of every hand-off
 // contending on one head/tail word, operations are spread across n cache-
 // independent structures, with a work-stealing sweep guaranteeing that a
