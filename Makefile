@@ -1,8 +1,8 @@
 # Tier-1 gate: everything `make check` runs must pass before a change
 # lands. CI and the pre-merge driver run exactly this target.
-.PHONY: check vet build test race bench-overhead bench-smoke bench-scaling stress chaos chaos-short
+.PHONY: check vet build test race bench-overhead bench-smoke bench-scaling bench-latency stress chaos chaos-short
 
-check: vet build test race bench-smoke bench-scaling chaos-short
+check: vet build test race bench-smoke bench-scaling bench-latency chaos-short
 
 vet:
 	go vet ./...
@@ -37,6 +37,14 @@ bench-smoke:
 # BENCH_scaling.json is regenerated with the longer settings in its header.
 bench-scaling:
 	go run ./cmd/sqbench -figure scaling -transfers 3000 -repeats 2 -levels 1,4,8 -quiet -gate
+
+# Latency-observability gate: single-pair hand-off with the histograms off
+# vs on, interleaved repeats, min-of-repeats. The -gate check enforces the
+# metrics-on overhead budget (10%, relaxed on single-CPU hosts where the
+# baseline's own run-to-run spread exceeds the budget); the committed
+# BENCH_latency.json is regenerated with `sqbench -figure latency -json`.
+bench-latency:
+	go run ./cmd/sqbench -figure latency -transfers 20000 -repeats 7 -quiet -gate
 
 # Quick instrumented stress pass across every timed algorithm.
 stress:

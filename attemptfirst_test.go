@@ -1,0 +1,102 @@
+package synchq
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"synchq/internal/core"
+)
+
+// These tests pin the attempt-first contract of the context operations:
+// PutContext/TakeContext (and TransferContext) must not pre-screen on
+// Closed() — they hand the attempt to the core and report whatever it
+// observed. A Closed() probe is inherently stale (the answer can change
+// before the attempt starts), and pre-screening it made the context
+// operations spuriously reject hand-offs that the core would have
+// completed — e.g. an elimination-arena pairing racing a shutdown, or a
+// buffered element a closing TransferQueue still owes its consumers.
+
+// stubImpl reports Closed()==true while still completing transfers — the
+// shape of a queue mid-shutdown whose in-flight hand-offs must win. Only
+// the methods the context operations touch do anything.
+type stubImpl[T any] struct {
+	v    T
+	puts int
+}
+
+func (f *stubImpl[T]) Put(v T)        { f.v = v }
+func (f *stubImpl[T]) Take() T        { return f.v }
+func (f *stubImpl[T]) Offer(v T) bool { return false }
+func (f *stubImpl[T]) OfferTimeout(v T, d time.Duration) bool {
+	return false
+}
+func (f *stubImpl[T]) Poll() (T, bool) { var z T; return z, false }
+func (f *stubImpl[T]) PollTimeout(d time.Duration) (T, bool) {
+	var z T
+	return z, false
+}
+func (f *stubImpl[T]) PutDeadline(v T, _ time.Time, _ <-chan struct{}) core.Status {
+	f.v = v
+	f.puts++
+	return core.OK
+}
+func (f *stubImpl[T]) TakeDeadline(_ time.Time, _ <-chan struct{}) (T, core.Status) {
+	return f.v, core.OK
+}
+func (f *stubImpl[T]) HasWaitingConsumer() bool               { return false }
+func (f *stubImpl[T]) HasWaitingProducer() bool               { return false }
+func (f *stubImpl[T]) IsEmpty() bool                          { return true }
+func (f *stubImpl[T]) ReserveTake() (T, core.Ticket[T], bool) { var z T; return z, nil, false }
+func (f *stubImpl[T]) ReservePut(v T) (core.Ticket[T], bool)  { return nil, false }
+func (f *stubImpl[T]) Close()                                 {}
+func (f *stubImpl[T]) Closed() bool                           { return true }
+
+// TestContextOpsAttemptFirst feeds the context operations an impl that
+// claims to be closed yet completes every attempt: the operations must
+// report the attempt's success, proving they no longer pre-screen on the
+// stale Closed() answer. (Before the fix, both returned ErrClosed without
+// ever reaching the core.)
+func TestContextOpsAttemptFirst(t *testing.T) {
+	f := &stubImpl[int]{}
+	q := &SynchronousQueue[int]{impl: f}
+
+	if err := q.PutContext(context.Background(), 7); err != nil {
+		t.Fatalf("PutContext pre-screened on Closed(): err = %v, want nil", err)
+	}
+	if f.puts != 1 {
+		t.Fatalf("PutContext did not reach the core (puts = %d)", f.puts)
+	}
+	v, err := q.TakeContext(context.Background())
+	if err != nil || v != 7 {
+		t.Fatalf("TakeContext = (%d, %v), want (7, nil)", v, err)
+	}
+}
+
+// TestEliminationWinsOverClose is the end-to-end form: on a closed
+// EliminatingQueue, a PutContext and a TakeContext that meet in the
+// elimination arena must still complete — the arena pairing never touches
+// the closed backing queue, and the attempt-first contract means nobody
+// pre-rejects it. A single-slot arena with generous patience makes the
+// meeting deterministic.
+func TestEliminationWinsOverClose(t *testing.T) {
+	q := NewEliminatingQueue[int](Eliminating(1, 500*time.Millisecond))
+	q.Close()
+
+	done := make(chan error, 1)
+	go func() { done <- q.PutContext(context.Background(), 42) }()
+
+	v, err := q.TakeContext(context.Background())
+	if err != nil || v != 42 {
+		t.Fatalf("TakeContext on closed eliminating queue = (%d, %v), want arena hit (42, nil)", v, err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("PutContext on closed eliminating queue = %v, want arena hit (nil)", err)
+	}
+
+	// Without a partner the arena attempt expires and the backing queue's
+	// closed state is still reported faithfully.
+	if err := q.PutContext(context.Background(), 1); err != ErrClosed {
+		t.Fatalf("unpaired PutContext on closed queue = %v, want ErrClosed", err)
+	}
+}

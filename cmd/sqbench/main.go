@@ -40,7 +40,7 @@ func simTransfers(o bench.SweepOpts) int64 {
 
 func main() {
 	var (
-		figure    = flag.String("figure", "all", `figure to regenerate: "3", "4", "5", "6", "all", an ablation ("spin", "clean", "elim", "procsweep", "ablations"), or "sim3" (Figure 3 on the simulated multiprocessor)`)
+		figure    = flag.String("figure", "all", `figure to regenerate: "3", "4", "5", "6", "all", an ablation ("spin", "clean", "elim", "procsweep", "ablations"), "scaling" (the producer×consumer scaling sweep), "latency" (the latency-histogram overhead benchmark), or "sim3" (Figure 3 on the simulated multiprocessor)`)
 		transfers = flag.Int64("transfers", 20000, "transfers (or tasks) per measurement cell")
 		levels    = flag.String("levels", "", "comma-separated sweep levels overriding the paper's defaults")
 		repeats   = flag.Int("repeats", 3, "measurements per cell (minimum is reported)")
@@ -49,8 +49,8 @@ func main() {
 		chart     = flag.Bool("chart", false, "emit ASCII bar charts instead of tables")
 		speedup   = flag.String("speedup", "", "append a speedup table relative to the named series (e.g. \"SynchronousQueue\")")
 		metricsF  = flag.Bool("metrics", false, "append, for live figures 3-5, the instrumented-counter table (CAS failures, spins, parks, unparks, cleaning sweeps per 1000 transfers) recorded alongside throughput")
-		jsonF     = flag.Bool("json", false, "emit a JSON report instead of a figure: the hand-off allocation benchmark (BENCH_handoff.json) by default, or the scaling sweep (BENCH_scaling.json) with -figure scaling")
-		gate      = flag.Bool("gate", false, "with -figure scaling: exit nonzero if the sharded+adaptive fair queue is slower than the plain fair queue at the maximum pair count (the bench-scaling regression gate)")
+		jsonF     = flag.Bool("json", false, "emit a JSON report instead of a figure: the hand-off allocation benchmark (BENCH_handoff.json) by default, the scaling sweep (BENCH_scaling.json) with -figure scaling, or the latency-observability overhead benchmark (BENCH_latency.json) with -figure latency")
+		gate      = flag.Bool("gate", false, "exit nonzero on a failed regression gate: with -figure scaling, the sharded+adaptive fair queue must not be slower than the plain fair queue at the maximum pair count; with -figure latency, enabling the latency histograms must not exceed the overhead budget")
 		quiet     = flag.Bool("quiet", false, "suppress progress output on stderr")
 		procs     = flag.Int("procs", 0, "GOMAXPROCS for the run; 0 selects max(NumCPU, 8) so that the paper's contention regime is reproduced even on small hosts")
 		simProcs  = flag.Int("simprocs", 16, "simulated processors for -figure sim3")
@@ -69,7 +69,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sqbench: GOMAXPROCS=%d (NumCPU=%d)\n", p, runtime.NumCPU())
 	}
 
-	if *jsonF && *figure != "scaling" {
+	if *jsonF && *figure != "scaling" && *figure != "latency" {
 		report := bench.HandoffAllocs(*transfers)
 		out, err := report.JSON()
 		if err != nil {
@@ -128,6 +128,33 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "sqbench: scaling gate passed (%.2fx at %d pairs)\n",
 				report.Summary.Speedup, report.Summary.MaxPairs)
+		}
+		return
+	}
+
+	if *figure == "latency" {
+		t, report := bench.Latency(opts)
+		if *jsonF {
+			out, err := report.JSON()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sqbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%s\n", out)
+		} else if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Print(t.Render())
+			fmt.Printf("\nsummary: worst metrics-on overhead %.1f%%\n",
+				report.Summary.MaxOverhead*100)
+		}
+		if *gate {
+			if err := report.Gate(); err != nil {
+				fmt.Fprintf(os.Stderr, "sqbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "sqbench: latency gate passed (worst overhead %.1f%%)\n",
+				report.Summary.MaxOverhead*100)
 		}
 		return
 	}

@@ -174,9 +174,10 @@ func main() {
 			cols = append(cols, name)
 		}
 	}
-	var counterTable *stats.Table
+	var counterTable, latencyTable *stats.Table
 	if len(cols) > 0 {
 		counterTable = stats.NewTable("Instrumentation counters", "counter", "events", cols)
+		latencyTable = stats.NewTable("Latency histograms (sampled, ns)", "percentile", "ns", cols)
 	}
 
 	exit := 0
@@ -205,11 +206,22 @@ func main() {
 			for i := metrics.ID(0); i < metrics.NumIDs; i++ {
 				counterTable.Set(i.String(), name, float64(s.Get(i)))
 			}
+			hs := h.Histograms()
+			for i := metrics.HistID(0); i < metrics.NumHistIDs; i++ {
+				c := hs.Get(i)
+				if c.Count() == 0 {
+					continue
+				}
+				latencyTable.Set(i.String()+" p50", name, float64(c.Percentile(0.50)))
+				latencyTable.Set(i.String()+" p99", name, float64(c.Percentile(0.99)))
+			}
 		}
 	}
 	if counterTable != nil && (*metricsF || exit != 0) {
 		fmt.Println()
 		fmt.Print(counterTable.Render())
+		fmt.Println()
+		fmt.Print(latencyTable.Render())
 	}
 	os.Exit(exit)
 }

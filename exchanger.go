@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"synchq/internal/exchanger"
+	"synchq/internal/metrics"
 )
 
 // Exchanger is a synchronization point at which pairs of goroutines swap
@@ -17,20 +18,35 @@ import (
 // Construct one with NewExchanger; an Exchanger must not be copied after
 // first use.
 type Exchanger[T any] struct {
-	e *exchanger.Exchanger[T]
+	e    *exchanger.Exchanger[T]
+	inst *Metrics
 }
 
 // NewExchanger returns an Exchanger with a platform-sized elimination
-// arena.
-func NewExchanger[T any]() *Exchanger[T] {
-	return &Exchanger[T]{e: exchanger.New[T]()}
+// arena. Of the options, only Instrument applies; the queue-shaping options
+// (Fair, Sharded, Eliminating) are ignored.
+func NewExchanger[T any](opts ...Option) *Exchanger[T] {
+	c := buildConfig(opts)
+	return &Exchanger[T]{
+		e:    exchanger.New[T]().SetMetrics(c.wait.Metrics),
+		inst: c.inst,
+	}
 }
 
 // NewExchangerSize returns an Exchanger with an arena of exactly slots
-// cells (minimum 1); exposed so the arena size can be studied.
-func NewExchangerSize[T any](slots int) *Exchanger[T] {
-	return &Exchanger[T]{e: exchanger.NewSize[T](slots)}
+// cells (minimum 1); exposed so the arena size can be studied. Options
+// follow the NewExchanger contract.
+func NewExchangerSize[T any](slots int, opts ...Option) *Exchanger[T] {
+	c := buildConfig(opts)
+	return &Exchanger[T]{
+		e:    exchanger.NewSize[T](slots).SetMetrics(c.wait.Metrics),
+		inst: c.inst,
+	}
 }
+
+// Metrics returns the instrumentation set attached with the Instrument
+// option, or nil for an uninstrumented exchanger.
+func (x *Exchanger[T]) Metrics() *Metrics { return x.inst }
 
 // Exchange presents v, waits for a partner, and returns the partner's
 // value.
@@ -80,29 +96,117 @@ type EliminatingQueue[T any] struct {
 	q        *SynchronousQueue[T]
 	arena    *exchanger.Arena[T]
 	patience time.Duration
+	m        *metrics.Handle // for FallbackNs; nil when uninstrumented
+	inst     *Metrics
 }
 
-// NewEliminating wraps q with an elimination front-end. patience bounds
-// the arena attempt on each Put/Take (a few microseconds is typical);
-// slots sizes the arena (0 for the platform default).
+// Eliminating selects a static elimination front-end for
+// NewEliminatingQueue: slots fixed arena cells (0 for the platform
+// default) and patience per arena attempt (non-positive: 5µs). Ignored by
+// New.
+func Eliminating(slots int, patience time.Duration) Option {
+	return func(c *config) {
+		c.elim, c.elimAdaptive = true, false
+		c.elimSlots, c.elimPatience = slots, patience
+	}
+}
+
+// EliminatingAdaptive selects the self-tuning elimination front-end for
+// NewEliminatingQueue: the arena's active width and per-attempt patience
+// adapt online to the observed contention, and the arena collapses to
+// direct hand-off — no detour at all beyond a periodic re-probe — when the
+// queue is quiet. This removes the main drawback Ablation C found in the
+// static front-end (a fixed latency tax at low contention) while keeping
+// its benefit at high contention. It is the default front-end of
+// NewEliminatingQueue; the option exists to override an earlier
+// Eliminating in an options slice. Ignored by New.
+func EliminatingAdaptive() Option {
+	return func(c *config) {
+		c.elim, c.elimAdaptive = true, true
+	}
+}
+
+// NewEliminatingQueue returns a synchronous queue with an elimination
+// front-end, configured by the same options as New (Fair, Sharded, Spins,
+// Instrument) plus the front-end selectors Eliminating and
+// EliminatingAdaptive. With neither selector it uses the adaptive
+// front-end. The backing queue is built from the same options, so
+//
+//	q := synchq.NewEliminatingQueue[int](synchq.Fair(true), synchq.Instrument(m))
+//
+// is an instrumented fair queue behind an adaptive arena: arena hits show
+// up in m as ElimHits and the "elim" histogram, arena misses that complete
+// on the backing queue as the "fallback" histogram.
+func NewEliminatingQueue[T any](opts ...Option) *EliminatingQueue[T] {
+	c := buildConfig(opts)
+	e := &EliminatingQueue[T]{
+		q:    newFromConfig[T](c),
+		m:    c.inst.handle(),
+		inst: c.inst,
+	}
+	if c.elim && !c.elimAdaptive {
+		e.patience = c.elimPatience
+		if e.patience <= 0 {
+			e.patience = 5 * time.Microsecond
+		}
+		e.arena = exchanger.NewArena[T](c.elimSlots)
+	} else {
+		e.arena = exchanger.NewArenaAdaptive[T](c.elimSlots)
+	}
+	e.arena.SetMetrics(c.wait.Metrics)
+	return e
+}
+
+// NewEliminating wraps q with a static elimination front-end. patience
+// bounds the arena attempt on each Put/Take (a few microseconds is
+// typical); slots sizes the arena (0 for the platform default).
+//
+// Deprecated: use NewEliminatingQueue with the Eliminating option, which
+// builds the backing queue and the arena from one options slice and lets
+// Instrument cover both. NewEliminating remains for callers that need to
+// wrap an existing queue; it behaves as it always has (the arena inherits
+// q's instrumentation when q has any).
 func NewEliminating[T any](q *SynchronousQueue[T], slots int, patience time.Duration) *EliminatingQueue[T] {
 	if patience <= 0 {
 		patience = 5 * time.Microsecond
 	}
-	return &EliminatingQueue[T]{q: q, arena: exchanger.NewArena[T](slots), patience: patience}
+	return &EliminatingQueue[T]{
+		q:        q,
+		arena:    exchanger.NewArena[T](slots).SetMetrics(q.inst.handle()),
+		patience: patience,
+		m:        q.inst.handle(),
+		inst:     q.inst,
+	}
 }
 
-// NewEliminatingAdaptive wraps q with a self-tuning elimination front-end:
-// instead of the fixed slot count and patience of NewEliminating, the
-// arena's active width and per-attempt patience adapt online to the
-// observed contention, and the arena collapses to direct hand-off — no
-// detour at all beyond a periodic re-probe — when the queue is quiet. This
-// removes the main drawback Ablation C found in the static front-end (a
-// fixed latency tax at low contention) while keeping its benefit at high
-// contention.
+// NewEliminatingAdaptive wraps q with the self-tuning elimination
+// front-end (see EliminatingAdaptive).
+//
+// Deprecated: use NewEliminatingQueue, whose default front-end is the
+// adaptive one. NewEliminatingAdaptive remains for callers that need to
+// wrap an existing queue.
 func NewEliminatingAdaptive[T any](q *SynchronousQueue[T]) *EliminatingQueue[T] {
-	return &EliminatingQueue[T]{q: q, arena: exchanger.NewArenaAdaptive[T](0)}
+	return &EliminatingQueue[T]{
+		q:     q,
+		arena: exchanger.NewArenaAdaptive[T](0).SetMetrics(q.inst.handle()),
+		m:     q.inst.handle(),
+		inst:  q.inst,
+	}
 }
+
+// Metrics returns the instrumentation set attached with the Instrument
+// option (covering both the arena and the backing queue), or nil for an
+// uninstrumented queue.
+func (e *EliminatingQueue[T]) Metrics() *Metrics { return e.inst }
+
+// Fair reports whether the backing queue pairs waiters in FIFO order.
+// Arena hits are pairing-order-free regardless: elimination trades order
+// for contention relief even on a fair backing queue.
+func (e *EliminatingQueue[T]) Fair() bool { return e.q.Fair() }
+
+// Shards returns the shard count of the backing queue (one unless built
+// with the Sharded option).
+func (e *EliminatingQueue[T]) Shards() int { return e.q.Shards() }
 
 // Adaptive reports whether the arena self-tunes (NewEliminatingAdaptive)
 // rather than using fixed knobs (NewEliminating).
@@ -137,19 +241,24 @@ func (e *EliminatingQueue[T]) arenaPatience() time.Duration {
 // Put transfers v to a consumer — via the arena if one is met there in
 // time, otherwise through the underlying queue.
 func (e *EliminatingQueue[T]) Put(v T) {
+	t0 := e.m.Start()
 	if e.tryGive(v) {
 		return
 	}
 	e.q.Put(v)
+	e.m.Since(metrics.FallbackNs, t0)
 }
 
 // Take receives a value from a producer — via the arena if one is met
 // there in time, otherwise through the underlying queue.
 func (e *EliminatingQueue[T]) Take() T {
+	t0 := e.m.Start()
 	if v, ok := e.tryTake(); ok {
 		return v
 	}
-	return e.q.Take()
+	v := e.q.Take()
+	e.m.Since(metrics.FallbackNs, t0)
+	return v
 }
 
 // Offer transfers v only if a counterpart is immediately available in the
@@ -166,9 +275,15 @@ func (e *EliminatingQueue[T]) Poll() (T, bool) { return e.q.Poll() }
 func (e *EliminatingQueue[T]) OfferTimeout(v T, d time.Duration) bool {
 	deadline := time.Now().Add(d)
 	if d > e.arenaPatience() {
+		t0 := e.m.Start()
 		if e.tryGive(v) {
 			return true
 		}
+		if e.q.OfferTimeout(v, time.Until(deadline)) {
+			e.m.Since(metrics.FallbackNs, t0)
+			return true
+		}
+		return false
 	}
 	return e.q.OfferTimeout(v, time.Until(deadline))
 }
@@ -178,9 +293,16 @@ func (e *EliminatingQueue[T]) OfferTimeout(v T, d time.Duration) bool {
 func (e *EliminatingQueue[T]) PollTimeout(d time.Duration) (T, bool) {
 	deadline := time.Now().Add(d)
 	if d > e.arenaPatience() {
+		t0 := e.m.Start()
 		if v, ok := e.tryTake(); ok {
 			return v, true
 		}
+		if v, ok := e.q.PollTimeout(time.Until(deadline)); ok {
+			e.m.Since(metrics.FallbackNs, t0)
+			return v, true
+		}
+		var zero T
+		return zero, false
 	}
 	return e.q.PollTimeout(time.Until(deadline))
 }
@@ -189,27 +311,30 @@ func (e *EliminatingQueue[T]) PollTimeout(d time.Duration) (T, bool) {
 // met there within the arena patience — abandoning the attempt if ctx is
 // done first. Errors follow the SynchronousQueue.PutContext contract.
 func (e *EliminatingQueue[T]) PutContext(ctx context.Context, v T) error {
-	if e.q.Closed() {
-		return ErrClosed
-	}
+	t0 := e.m.Start()
 	if e.tryGive(v) {
 		return nil
 	}
-	return e.q.PutContext(ctx, v)
+	err := e.q.PutContext(ctx, v)
+	if err == nil {
+		e.m.Since(metrics.FallbackNs, t0)
+	}
+	return err
 }
 
 // TakeContext receives a value — via the arena when a partner is met there
 // within the arena patience — abandoning the attempt if ctx is done first.
 // Errors follow the SynchronousQueue.TakeContext contract.
 func (e *EliminatingQueue[T]) TakeContext(ctx context.Context) (T, error) {
-	if e.q.Closed() {
-		var zero T
-		return zero, ErrClosed
-	}
+	t0 := e.m.Start()
 	if v, ok := e.tryTake(); ok {
 		return v, nil
 	}
-	return e.q.TakeContext(ctx)
+	v, err := e.q.TakeContext(ctx)
+	if err == nil {
+		e.m.Since(metrics.FallbackNs, t0)
+	}
+	return v, err
 }
 
 // OfferWait transfers v, trying the arena first when the deadline leaves
@@ -217,9 +342,15 @@ func (e *EliminatingQueue[T]) TakeContext(ctx context.Context) (T, error) {
 // deadline passes (zero: no deadline) or cancel fires (nil: never).
 func (e *EliminatingQueue[T]) OfferWait(v T, deadline time.Time, cancel <-chan struct{}) bool {
 	if deadline.IsZero() || time.Until(deadline) > e.arenaPatience() {
+		t0 := e.m.Start()
 		if e.tryGive(v) {
 			return true
 		}
+		if e.q.OfferWait(v, deadline, cancel) {
+			e.m.Since(metrics.FallbackNs, t0)
+			return true
+		}
+		return false
 	}
 	return e.q.OfferWait(v, deadline, cancel)
 }
@@ -229,9 +360,16 @@ func (e *EliminatingQueue[T]) OfferWait(v T, deadline time.Time, cancel <-chan s
 // the deadline passes (zero: no deadline) or cancel fires (nil: never).
 func (e *EliminatingQueue[T]) PollWait(deadline time.Time, cancel <-chan struct{}) (T, bool) {
 	if deadline.IsZero() || time.Until(deadline) > e.arenaPatience() {
+		t0 := e.m.Start()
 		if v, ok := e.tryTake(); ok {
 			return v, true
 		}
+		if v, ok := e.q.PollWait(deadline, cancel); ok {
+			e.m.Since(metrics.FallbackNs, t0)
+			return v, true
+		}
+		var zero T
+		return zero, false
 	}
 	return e.q.PollWait(deadline, cancel)
 }

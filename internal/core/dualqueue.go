@@ -197,6 +197,7 @@ func isOffList[T any](n *qnode[T]) bool { return n.next.Load() == n }
 // queue orientations — recycles it; a datum that never transferred (timeout,
 // cancel, close, refused engage) is reclaimed by its producer.
 func (q *DualQueue[T]) transfer(isData bool, v T, deadline time.Time, cancel <-chan struct{}, async bool) (T, Status) {
+	t0 := q.m.Start() // arrival timestamp (zero — no clock read — when uninstrumented)
 	var zero T
 	var e *qitem[T]
 	if isData {
@@ -208,6 +209,7 @@ func (q *DualQueue[T]) transfer(isData bool, v T, deadline time.Time, cancel <-c
 	imm, s, pred, st := q.engage(e, canWait, async)
 	if st != OK {
 		q.putBox(e) // the datum never entered the structure
+		q.m.Since(metrics.WastedNs, t0)
 		return zero, st
 	}
 	if s == nil {
@@ -215,6 +217,9 @@ func (q *DualQueue[T]) transfer(isData bool, v T, deadline time.Time, cancel <-c
 		// For a take, imm is the counterpart's box — consume and
 		// recycle it. For a put (and an async deposit) the box now
 		// belongs to its eventual taker.
+		if !async {
+			q.m.Since(metrics.HandoffNs, t0) // a deposit is not a pairing
+		}
 		if !isData {
 			v = imm.v
 			q.putBox(imm)
@@ -229,7 +234,7 @@ func (q *DualQueue[T]) transfer(isData bool, v T, deadline time.Time, cancel <-c
 		// fails and the transfer completes normally.
 		s.item.CompareAndSwap(e, q.closedSent)
 	}
-	x, status := q.awaitFulfill(s, e, deadline, cancel)
+	x, status := q.awaitFulfill(s, e, deadline, cancel, t0)
 	if q.isDead(x) {
 		q.clean(pred, s)
 		q.putBox(e) // abandoned put: the datum never transferred
@@ -373,7 +378,13 @@ func (q *DualQueue[T]) finish(s, pred *qnode[T], x *qitem[T]) {
 // is the node's own (wp), initialized in place and published through the
 // waiter word, so entering the slow path allocates nothing; fulfilled waits
 // feed the adaptive spin calibrator when one is attached.
-func (q *DualQueue[T]) awaitFulfill(s *qnode[T], e *qitem[T], deadline time.Time, cancel <-chan struct{}) (*qitem[T], Status) {
+//
+// t0 is the operation's arrival timestamp (from Handle.Start; zero when
+// uninstrumented). awaitFulfill owns the wait's latency accounting: the
+// spin phase ends at the spin→park transition (or at fulfillment if the
+// wait never armed), and the exit records hand-off or wasted time from t0
+// with a single clock read shared by both histograms.
+func (q *DualQueue[T]) awaitFulfill(s *qnode[T], e *qitem[T], deadline time.Time, cancel <-chan struct{}, t0 int64) (*qitem[T], Status) {
 	spins := 0
 	if q.head.Load().next.Load() == s {
 		// Only the node next in line for fulfillment spins; deeper
@@ -398,6 +409,21 @@ func (q *DualQueue[T]) awaitFulfill(s *qnode[T], e *qitem[T], deadline time.Time
 		x := s.item.Load()
 		if x != e {
 			q.m.Add(metrics.Spins, spun)
+			if t0 != 0 {
+				// One clock read serves both views of the wait: the
+				// spin phase (if the wait never armed its parker, the
+				// whole wait was the spin phase) and the operation's
+				// end-to-end outcome.
+				d := time.Duration(metrics.Nanos() - t0)
+				if !armed {
+					q.m.Record(metrics.SpinNs, d)
+				}
+				if q.isDead(x) {
+					q.m.Record(metrics.WastedNs, d)
+				} else {
+					q.m.Record(metrics.HandoffNs, d)
+				}
+			}
 			if x == q.closedSent {
 				q.m.Inc(metrics.ClosedWakeups)
 				return x, Closed
@@ -437,6 +463,7 @@ func (q *DualQueue[T]) awaitFulfill(s *qnode[T], e *qitem[T], deadline time.Time
 			continue
 		}
 		if !armed {
+			spin.EndPhase(q.m, t0) // spin budget exhausted: the busy phase ends here
 			s.wp.Init(q.m, q.f)
 			s.waiter.Store(&s.wp)
 			armed = true

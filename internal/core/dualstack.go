@@ -156,6 +156,7 @@ func (q *DualStack[T]) isDead(n *snode[T]) bool {
 // value for puts). The datum rides in the waiting or fulfilling node's
 // embedded box, so no separate box circulates.
 func (q *DualStack[T]) transfer(isData bool, v T, deadline time.Time, cancel <-chan struct{}) (T, Status) {
+	t0 := q.m.Start() // arrival timestamp (zero — no clock read — when uninstrumented)
 	var zero T
 	mode := modeRequest
 	if isData {
@@ -166,9 +167,11 @@ func (q *DualStack[T]) transfer(isData bool, v T, deadline time.Time, cancel <-c
 	}
 	imm, s, st := q.engageWait(v, mode, canWait)
 	if st != OK {
+		q.m.Since(metrics.WastedNs, t0)
 		return zero, st
 	}
 	if s == nil {
+		q.m.Since(metrics.HandoffNs, t0)
 		return imm, OK // fulfilled a waiting counterpart directly
 	}
 
@@ -179,7 +182,7 @@ func (q *DualStack[T]) transfer(isData bool, v T, deadline time.Time, cancel <-c
 		// fails and the transfer completes normally.
 		s.match.CompareAndSwap(nil, q.closedMark)
 	}
-	m, status := q.awaitFulfill(s, deadline, cancel)
+	m, status := q.awaitFulfill(s, deadline, cancel, t0)
 	if m == s || m == q.closedMark {
 		q.clean(s)
 		return zero, status // canceled or evicted by Close
@@ -360,7 +363,12 @@ func (q *DualStack[T]) finishMatch(s *snode[T]) {
 // published through the waiter word, so entering the slow path allocates
 // nothing; fulfilled waits feed the adaptive spin calibrator when one is
 // attached.
-func (q *DualStack[T]) awaitFulfill(s *snode[T], deadline time.Time, cancel <-chan struct{}) (*snode[T], Status) {
+//
+// t0 is the operation's arrival timestamp (from Handle.Start; zero when
+// uninstrumented); awaitFulfill owns the wait's latency accounting exactly
+// as the queue's does — spin phase at the arming transition, hand-off or
+// wasted time at exit with one shared clock read.
+func (q *DualStack[T]) awaitFulfill(s *snode[T], deadline time.Time, cancel <-chan struct{}, t0 int64) (*snode[T], Status) {
 	spins := 0
 	if q.shouldSpin(s) {
 		if q.cal != nil {
@@ -382,6 +390,19 @@ func (q *DualStack[T]) awaitFulfill(s *snode[T], deadline time.Time, cancel <-ch
 	for i := 0; ; i++ {
 		if m := s.match.Load(); m != nil {
 			q.m.Add(metrics.Spins, spun)
+			if t0 != 0 {
+				// One clock read for both views of the wait (see the
+				// queue's awaitFulfill).
+				d := time.Duration(metrics.Nanos() - t0)
+				if !armed {
+					q.m.Record(metrics.SpinNs, d)
+				}
+				if m == q.closedMark || m == s {
+					q.m.Record(metrics.WastedNs, d)
+				} else {
+					q.m.Record(metrics.HandoffNs, d)
+				}
+			}
 			if m == q.closedMark {
 				q.m.Inc(metrics.ClosedWakeups)
 				return m, Closed
@@ -428,6 +449,7 @@ func (q *DualStack[T]) awaitFulfill(s *snode[T], deadline time.Time, cancel <-ch
 			continue
 		}
 		if !armed {
+			spin.EndPhase(q.m, t0) // spin budget exhausted: the busy phase ends here
 			s.wp.Init(q.m, q.f)
 			s.waiter.Store(&s.wp)
 			armed = true

@@ -2,6 +2,8 @@ package core
 
 import (
 	"time"
+
+	"synchq/internal/metrics"
 )
 
 // This file exposes the paper's §2.2 dual-data-structure interface as
@@ -31,6 +33,7 @@ type QueueTicket[T any] struct {
 	node *qnode[T]
 	pred *qnode[T]
 	e    *qitem[T] // the node's initial item state
+	t0   int64 // reservation arrival, for the latency histograms
 	done bool      // a follow-up already consumed the outcome
 }
 
@@ -42,6 +45,7 @@ type QueueTicket[T any] struct {
 // variant for callers (such as the shard fabric) that compose reservations
 // inside status-reporting operations.
 func (q *DualQueue[T]) TakeReserveStatus() (T, *QueueTicket[T], bool, Status) {
+	t0 := q.m.Start()
 	var zero T
 	imm, node, pred, st := q.engage(nil, func() bool { return true }, false)
 	if st == Closed {
@@ -49,6 +53,7 @@ func (q *DualQueue[T]) TakeReserveStatus() (T, *QueueTicket[T], bool, Status) {
 	}
 	if node == nil {
 		// Consume the delivered value and recycle the fulfiller's box.
+		q.m.Since(metrics.HandoffNs, t0)
 		v := imm.v
 		q.putBox(imm)
 		return v, nil, true, OK
@@ -61,7 +66,7 @@ func (q *DualQueue[T]) TakeReserveStatus() (T, *QueueTicket[T], bool, Status) {
 		// normally; otherwise Await reports Closed and Abort succeeds.
 		node.item.CompareAndSwap(nil, q.closedSent)
 	}
-	return zero, &QueueTicket[T]{q: q, node: node, pred: pred, e: nil}, false, OK
+	return zero, &QueueTicket[T]{q: q, node: node, pred: pred, e: nil, t0: t0}, false, OK
 }
 
 // TakeReserve is TakeReserveStatus for callers with no status channel: it
@@ -79,6 +84,7 @@ func (q *DualQueue[T]) TakeReserve() (T, *QueueTicket[T], bool) {
 // with a nil ticket; otherwise ok is false and the ticket tracks the
 // pending offer. A closed queue is reported as the Closed status.
 func (q *DualQueue[T]) PutReserveStatus(v T) (*QueueTicket[T], bool, Status) {
+	t0 := q.m.Start()
 	e := q.getBox(v)
 	_, node, pred, st := q.engage(e, func() bool { return true }, false)
 	if st == Closed {
@@ -86,6 +92,7 @@ func (q *DualQueue[T]) PutReserveStatus(v T) (*QueueTicket[T], bool, Status) {
 		return nil, false, Closed
 	}
 	if node == nil {
+		q.m.Since(metrics.HandoffNs, t0)
 		return nil, true, OK
 	}
 	if q.closed.Load() {
@@ -93,7 +100,7 @@ func (q *DualQueue[T]) PutReserveStatus(v T) (*QueueTicket[T], bool, Status) {
 		// so the offer is never stranded by a Close that missed it.
 		node.item.CompareAndSwap(e, q.closedSent)
 	}
-	return &QueueTicket[T]{q: q, node: node, pred: pred, e: e}, false, OK
+	return &QueueTicket[T]{q: q, node: node, pred: pred, e: e, t0: t0}, false, OK
 }
 
 // PutReserve is PutReserveStatus for callers with no status channel: it
@@ -125,6 +132,7 @@ func (t *QueueTicket[T]) TryFollowup() (T, bool) {
 		return zero, false
 	}
 	t.done = true
+	t.q.m.Since(metrics.HandoffNs, t.t0)
 	t.q.finish(t.node, t.pred, x)
 	if x != nil {
 		// Take ticket: consume the delivered value and recycle the
@@ -145,7 +153,7 @@ func (t *QueueTicket[T]) Await(deadline time.Time, cancel <-chan struct{}) (T, S
 	if t.done {
 		panic("core: await on a spent ticket")
 	}
-	x, status := t.q.awaitFulfill(t.node, t.e, deadline, cancel)
+	x, status := t.q.awaitFulfill(t.node, t.e, deadline, cancel, t.t0)
 	t.done = true
 	if t.q.isDead(x) {
 		t.q.clean(t.pred, t.node)
@@ -185,6 +193,7 @@ func (t *QueueTicket[T]) Abort() bool {
 type StackTicket[T any] struct {
 	q    *DualStack[T]
 	node *snode[T]
+	t0   int64 // reservation arrival, for the latency histograms
 	done bool
 }
 
@@ -193,15 +202,17 @@ type StackTicket[T any] struct {
 // attempt), the value is returned at once with ok true and a nil ticket. A
 // closed stack is reported as the Closed status.
 func (q *DualStack[T]) TakeReserveStatus() (T, *StackTicket[T], bool, Status) {
+	t0 := q.m.Start()
 	var zero T
 	imm, node, st := q.engageReserve(*new(T), modeRequest)
 	if st == Closed {
 		return zero, nil, false, Closed
 	}
 	if node == nil {
+		q.m.Since(metrics.HandoffNs, t0)
 		return imm, nil, true, OK
 	}
-	return zero, &StackTicket[T]{q: q, node: node}, false, OK
+	return zero, &StackTicket[T]{q: q, node: node, t0: t0}, false, OK
 }
 
 // TakeReserve is TakeReserveStatus for callers with no status channel: it
@@ -218,14 +229,16 @@ func (q *DualStack[T]) TakeReserve() (T, *StackTicket[T], bool) {
 // waiting, v is delivered at once and ok is true with a nil ticket. A
 // closed stack is reported as the Closed status.
 func (q *DualStack[T]) PutReserveStatus(v T) (*StackTicket[T], bool, Status) {
+	t0 := q.m.Start()
 	_, node, st := q.engageReserve(v, modeData)
 	if st == Closed {
 		return nil, false, Closed
 	}
 	if node == nil {
+		q.m.Since(metrics.HandoffNs, t0)
 		return nil, true, OK
 	}
-	return &StackTicket[T]{q: q, node: node}, false, OK
+	return &StackTicket[T]{q: q, node: node, t0: t0}, false, OK
 }
 
 // PutReserve is PutReserveStatus for callers with no status channel: it
@@ -253,6 +266,7 @@ func (t *StackTicket[T]) TryFollowup() (T, bool) {
 		return zero, false
 	}
 	t.done = true
+	t.q.m.Since(metrics.HandoffNs, t.t0)
 	t.q.finishMatch(t.node)
 	if t.node.mode == modeRequest {
 		return m.item.Load().v, true
@@ -268,7 +282,7 @@ func (t *StackTicket[T]) Await(deadline time.Time, cancel <-chan struct{}) (T, S
 	if t.done {
 		panic("core: await on a spent ticket")
 	}
-	m, status := t.q.awaitFulfill(t.node, deadline, cancel)
+	m, status := t.q.awaitFulfill(t.node, deadline, cancel, t.t0)
 	t.done = true
 	if m == t.node || m == t.q.closedMark {
 		t.q.clean(t.node)

@@ -223,15 +223,32 @@ func (e *Exchanger[T]) ExchangeCancel(v T, cancel <-chan struct{}) (T, Status) {
 // many CAS races it lost, feeding the contention EWMA that reshapes the
 // active slot range and the arena patience.
 func (e *Exchanger[T]) exchange(v *xbox[T], isData bool, deadline time.Time, cancel <-chan struct{}) (*xbox[T], Status) {
+	t0 := e.m.Start()
 	fails := 0
-	x, st := e.exchangeCounting(v, isData, deadline, cancel, &fails)
+	x, st := e.exchangeCounting(v, isData, deadline, cancel, &fails, t0)
+	if t0 != 0 {
+		d := time.Duration(metrics.Nanos() - t0)
+		switch {
+		case st != OK:
+			// An arena miss is not wasted wait from the caller's view:
+			// the operation falls back to the backing structure, and the
+			// eliminating layer records the full detour as FallbackNs.
+			if !e.asArena {
+				e.m.Record(metrics.WastedNs, d)
+			}
+		case e.asArena:
+			e.m.Record(metrics.ElimNs, d)
+		default:
+			e.m.Record(metrics.HandoffNs, d)
+		}
+	}
 	if e.ad != nil {
 		e.ad.observe(st == OK, fails, e.m)
 	}
 	return x, st
 }
 
-func (e *Exchanger[T]) exchangeCounting(v *xbox[T], isData bool, deadline time.Time, cancel <-chan struct{}, fails *int) (*xbox[T], Status) {
+func (e *Exchanger[T]) exchangeCounting(v *xbox[T], isData bool, deadline time.Time, cancel <-chan struct{}, fails *int, t0 int64) (*xbox[T], Status) {
 	me := &xnode[T]{mine: v, isData: isData}
 	idx := 0
 	for {
@@ -261,7 +278,7 @@ func (e *Exchanger[T]) exchangeCounting(v *xbox[T], isData bool, deadline time.T
 				continue
 			}
 			if s.n.CompareAndSwap(nil, me) {
-				x, st := e.await(me, s, deadline, cancel)
+				x, st := e.await(me, s, deadline, cancel, t0)
 				if st == OK {
 					return x, OK
 				}
@@ -380,8 +397,10 @@ func (e *Exchanger[T]) fulfillValue(v *xbox[T]) *xbox[T] {
 
 // await waits for our hole to be filled, spin-then-park, cancelling on
 // deadline/cancel. On cancellation it also withdraws the node from its
-// slot so later arrivals do not claim a dead node.
-func (e *Exchanger[T]) await(me *xnode[T], s *slot[T], deadline time.Time, cancel <-chan struct{}) (*xbox[T], Status) {
+// slot so later arrivals do not claim a dead node. t0 is the exchange's
+// arrival timestamp for the spin-vs-park breakdown (zero when
+// uninstrumented); the end-to-end outcome is recorded by exchange.
+func (e *Exchanger[T]) await(me *xnode[T], s *slot[T], deadline time.Time, cancel <-chan struct{}, t0 int64) (*xbox[T], Status) {
 	spins := spin.UntimedSpins()
 	if !deadline.IsZero() {
 		spins = spin.TimedSpins()
@@ -393,6 +412,9 @@ func (e *Exchanger[T]) await(me *xnode[T], s *slot[T], deadline time.Time, cance
 		x := me.hole.Load()
 		if x != nil {
 			e.m.Add(metrics.Spins, spun)
+			if !armed {
+				spin.EndPhase(e.m, t0) // the whole wait was the spin phase
+			}
 			switch x {
 			case e.canceled:
 				if status == Canceled {
@@ -429,6 +451,7 @@ func (e *Exchanger[T]) await(me *xnode[T], s *slot[T], deadline time.Time, cance
 			continue
 		}
 		if !armed {
+			spin.EndPhase(e.m, t0) // spin budget exhausted: the busy phase ends here
 			me.wp.Init(e.m, e.f)
 			me.waiter.Store(&me.wp)
 			armed = true

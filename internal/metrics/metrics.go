@@ -163,8 +163,9 @@ type counter struct {
 // the disabled path stays at a single branch. A Handle must not be copied
 // after first use.
 type Handle struct {
-	_ [64]byte // keep c[0] off whatever cache line precedes the allocation
-	c [NumIDs]counter
+	_    [64]byte // keep c[0] off whatever cache line precedes the allocation
+	c    [NumIDs]counter
+	hist [NumHistIDs]Histogram
 }
 
 // New returns a fresh, zeroed counter set.
@@ -213,6 +214,9 @@ func (h *Handle) Reset() {
 	}
 	for i := range h.c {
 		h.c[i].v.Store(0)
+	}
+	for i := range h.hist {
+		h.hist[i].reset()
 	}
 }
 
@@ -302,10 +306,13 @@ var (
 	published = make(map[string]*Handle)
 )
 
-// Publish exposes h's counters under the given expvar name (shown as a
-// JSON object at /debug/vars when the process serves HTTP). Publishing an
-// already-published name rebinds it to h rather than panicking, so fresh
-// queues can take over a stable name across restarts of a subsystem.
+// Publish exposes h's counters and latency histograms under the given
+// expvar name (shown as a JSON object at /debug/vars when the process
+// serves HTTP): counters at the top level under their ID names, and
+// histogram percentile summaries nested under the "latency" key (see
+// HistSnapshot.LatencyMap for the shape). Publishing an already-published
+// name rebinds it to h rather than panicking, so fresh queues can take
+// over a stable name across restarts of a subsystem.
 func Publish(name string, h *Handle) {
 	pubMu.Lock()
 	defer pubMu.Unlock()
@@ -318,6 +325,13 @@ func Publish(name string, h *Handle) {
 		pubMu.Lock()
 		cur := published[name]
 		pubMu.Unlock()
-		return cur.Snapshot().Map()
+		doc := make(map[string]any, NumIDs+1)
+		for k, v := range cur.Snapshot().Map() {
+			doc[k] = v
+		}
+		if lat := cur.Histograms().LatencyMap(); len(lat) > 0 {
+			doc["latency"] = lat
+		}
+		return doc
 	}))
 }

@@ -86,12 +86,16 @@ func (p *Parker) wait(deadline time.Time, cancel <-chan struct{}, faulty bool) W
 	p.sig.Store(n)
 
 	p.m.Inc(metrics.Parks)
+	// The blocked interval starts here: everything before this point was
+	// nonblocking permit negotiation. detach records the interval into the
+	// park-time histogram, covering re-parks after stale tokens too.
+	t0 := p.m.Start()
 	for {
 		if !p.state.CompareAndSwap(pEmpty, pParked) {
 			// Not empty: a permit arrived between the fast path and
 			// here (or a stale-token loop already disarmed us).
 			if p.state.CompareAndSwap(pPermit, pEmpty) {
-				return p.detach(n, Unparked)
+				return p.detach(n, t0, Unparked)
 			}
 			continue
 		}
@@ -100,7 +104,7 @@ func (p *Parker) wait(deadline time.Time, cancel <-chan struct{}, faulty bool) W
 			// Woken by a token. The state word decides whether it was
 			// a real permit delivery.
 			if p.state.CompareAndSwap(pPermit, pEmpty) {
-				return p.detach(n, Unparked)
+				return p.detach(n, t0, Unparked)
 			}
 			// Stale token: disarm back to empty and loop to re-park.
 			// If the disarm loses, a real unparker just won and the
@@ -112,10 +116,10 @@ func (p *Parker) wait(deadline time.Time, cancel <-chan struct{}, faulty bool) W
 			// the owner's next wait (the same outcome the old
 			// channel-based Parker had when the timer won the select).
 			p.state.CompareAndSwap(pParked, pEmpty)
-			return p.detach(n, DeadlineExceeded)
+			return p.detach(n, t0, DeadlineExceeded)
 		case <-cancel:
 			p.state.CompareAndSwap(pParked, pEmpty)
-			return p.detach(n, Canceled)
+			return p.detach(n, t0, Canceled)
 		}
 	}
 }
@@ -123,8 +127,11 @@ func (p *Parker) wait(deadline time.Time, cancel <-chan struct{}, faulty bool) W
 // detach unhooks the notifier after a slow-path wait and recycles it. An
 // unparker that already loaded the pointer may still send one token into
 // the recycled notifier; the Get-side drain and the hint-only token
-// contract make that benign.
-func (p *Parker) detach(n *notifier, r WaitResult) WaitResult {
+// contract make that benign. t0 is the blocked interval's start, recorded
+// into the park-time histogram regardless of how the wait ended — a
+// timed-out park was still time spent blocked.
+func (p *Parker) detach(n *notifier, t0 int64, r WaitResult) WaitResult {
+	p.m.Since(metrics.ParkNs, t0)
 	p.sig.Store(nil)
 	select {
 	case <-n.ch:

@@ -194,7 +194,11 @@ func (f *Fabric[T]) home() int {
 // protocol's announce-then-recheck handshake, whose probes are what make
 // cross-shard stranding impossible, so an injected "lost race" there would
 // manufacture a deadlock no real execution can produce.
-func (f *Fabric[T]) sweepPut(home int, v T, critical bool) bool {
+// t0 is the fabric operation's arrival timestamp (zero when the fabric is
+// uninstrumented); a probe that completes on a non-home shard records the
+// arrival-to-steal latency separately from the shards' own hand-off
+// histograms.
+func (f *Fabric[T]) sweepPut(home int, v T, critical bool, t0 int64) bool {
 	avail := f.cons.Load()
 	for avail != 0 {
 		i := nearestBit(avail, home)
@@ -210,6 +214,7 @@ func (f *Fabric[T]) sweepPut(home int, v T, critical bool) bool {
 			if f.shards[i].Offer(v) {
 				if i != home {
 					f.m.Inc(metrics.ShardSteals)
+					f.m.Since(metrics.StealNs, t0)
 				}
 				return true
 			}
@@ -232,7 +237,7 @@ func (f *Fabric[T]) sweepPut(home int, v T, critical bool) bool {
 
 // sweepTake probes the shards the prod summary flags as holding a waiting
 // producer, starting at home.
-func (f *Fabric[T]) sweepTake(home int, critical bool) (T, bool) {
+func (f *Fabric[T]) sweepTake(home int, critical bool, t0 int64) (T, bool) {
 	avail := f.prod.Load()
 	for avail != 0 {
 		i := nearestBit(avail, home)
@@ -244,6 +249,7 @@ func (f *Fabric[T]) sweepTake(home int, critical bool) (T, bool) {
 			if v, ok := f.shards[i].Poll(); ok {
 				if i != home {
 					f.m.Inc(metrics.ShardSteals)
+					f.m.Since(metrics.StealNs, t0)
 				}
 				return v, true
 			}
@@ -312,10 +318,11 @@ func clearBit(w *atomic.Uint64, bit uint64) {
 //     state costs one reservation and one park, with no timer and no
 //     periodic rescue wakeups.
 func (f *Fabric[T]) put(v T, deadline time.Time, cancel <-chan struct{}) core.Status {
+	t0 := f.m.Start()
 	home := f.home()
 	critical := false
 	for {
-		if f.sweepPut(home, v, critical) {
+		if f.sweepPut(home, v, critical, t0) {
 			return core.OK
 		}
 		if !deadline.IsZero() && !time.Now().Before(deadline) {
@@ -360,11 +367,12 @@ func (f *Fabric[T]) put(v T, deadline time.Time, cancel <-chan struct{}) core.St
 // that a request reservation holds no datum, so the abort arm collects the
 // value directly when a fulfiller wins the race).
 func (f *Fabric[T]) take(deadline time.Time, cancel <-chan struct{}) (T, core.Status) {
+	t0 := f.m.Start()
 	var zero T
 	home := f.home()
 	critical := false
 	for {
-		if v, ok := f.sweepTake(home, critical); ok {
+		if v, ok := f.sweepTake(home, critical, t0); ok {
 			return v, core.OK
 		}
 		if !deadline.IsZero() && !time.Now().Before(deadline) {
@@ -447,7 +455,7 @@ func (f *Fabric[T]) TakeDeadline(deadline time.Time, cancel <-chan struct{}) (T,
 
 // Offer transfers v only if a consumer is already waiting on some shard.
 func (f *Fabric[T]) Offer(v T) bool {
-	return f.sweepPut(f.home(), v, false)
+	return f.sweepPut(f.home(), v, false, f.m.Start())
 }
 
 // OfferTimeout transfers v, waiting up to d for a consumer.
@@ -461,7 +469,7 @@ func (f *Fabric[T]) OfferTimeout(v T, d time.Duration) bool {
 // Poll receives a value only if a producer is already waiting on some
 // shard.
 func (f *Fabric[T]) Poll() (T, bool) {
-	return f.sweepTake(f.home(), false)
+	return f.sweepTake(f.home(), false, f.m.Start())
 }
 
 // PollTimeout receives a value, waiting up to d for a producer.
@@ -482,12 +490,13 @@ func (f *Fabric[T]) PollTimeout(d time.Duration) (T, bool) {
 // Await and re-reserve, or use the demand operations. Panics if the fabric
 // is closed, like the unsharded reservation requests.
 func (f *Fabric[T]) ReserveTake() (T, core.Ticket[T], bool) {
+	t0 := f.m.Start()
 	var zero T
 	home := f.home()
 	bit := uint64(1) << uint(home)
 	critical := false
 	for {
-		if v, ok := f.sweepTake(home, critical); ok {
+		if v, ok := f.sweepTake(home, critical, t0); ok {
 			return v, nil, true
 		}
 		// Announce early — unlike the demand path, which reserves first and
@@ -533,11 +542,12 @@ func (f *Fabric[T]) ReserveTake() (T, core.Ticket[T], bool) {
 // ReservePut offers v to a future consumer, with the same shard-pinning
 // contract as ReserveTake.
 func (f *Fabric[T]) ReservePut(v T) (core.Ticket[T], bool) {
+	t0 := f.m.Start()
 	home := f.home()
 	bit := uint64(1) << uint(home)
 	critical := false
 	for {
-		if f.sweepPut(home, v, critical) {
+		if f.sweepPut(home, v, critical, t0) {
 			return nil, true
 		}
 		// Early hint; see ReserveTake for the announce/link protocol.

@@ -77,6 +77,17 @@ func MeteredPause(i int, h *metrics.Handle) {
 	Pause(i)
 }
 
+// EndPhase records a completed busy-wait phase — from the wait's start t0
+// to now — into h's spin-time histogram. Wait loops call it exactly once
+// per wait: at the spin→park transition when the budget runs out, or at
+// fulfillment when the wait never parked (then the whole wait was the spin
+// phase). Together with the parker's park-time recording this yields the
+// spin-vs-park breakdown of the waiting policy. Nil-safe on h and a no-op
+// on a zero t0, so uninstrumented loops pay only the branch.
+func EndPhase(h *metrics.Handle, t0 int64) {
+	h.Since(metrics.SpinNs, t0)
+}
+
 // Backoff implements randomized-free exponential backoff for CAS retry
 // loops. The zero value is ready to use.
 type Backoff struct {

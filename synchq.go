@@ -93,6 +93,7 @@ type SynchronousQueue[T any] struct {
 	impl   impl[T]
 	fair   bool
 	shards int
+	inst   *Metrics
 }
 
 var (
@@ -108,6 +109,22 @@ type config struct {
 	sharded bool
 	shards  int
 	wait    core.WaitConfig
+	inst    *Metrics
+
+	// Elimination front-end (NewEliminatingQueue / Eliminating options).
+	elim         bool
+	elimAdaptive bool
+	elimSlots    int
+	elimPatience time.Duration
+}
+
+// buildConfig folds opts into a config.
+func buildConfig(opts []Option) config {
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
 }
 
 // Fair selects FIFO (dual queue) pairing when true, LIFO (dual stack)
@@ -150,19 +167,31 @@ func Sharded(n int) Option {
 // New returns a synchronous queue configured by opts; with no options it is
 // equivalent to NewUnfair.
 func New[T any](opts ...Option) *SynchronousQueue[T] {
-	var c config
-	for _, o := range opts {
-		o(&c)
-	}
-	q := &SynchronousQueue[T]{fair: c.fair}
+	return newFromConfig[T](buildConfig(opts))
+}
+
+// newFromConfig builds the queue a config describes. It is the shared back
+// half of New and NewEliminatingQueue, so every option (including
+// Instrument) means the same thing under both constructors.
+func newFromConfig[T any](c config) *SynchronousQueue[T] {
+	q := &SynchronousQueue[T]{fair: c.fair, inst: c.inst}
 	switch {
 	case c.sharded:
-		fab := shard.New(c.shards, func(int) shard.Dual[T] {
-			if c.fair {
-				return core.NewDualQueue[T](c.wait)
+		fab := shard.New(c.shards, func(i int) shard.Dual[T] {
+			w := c.wait
+			if c.inst != nil {
+				// Each shard records into its own child handle so
+				// Metrics.ShardStats can expose per-shard behavior;
+				// Metrics.Stats merges them back together.
+				w.Metrics = c.inst.shardHandle(i)
 			}
-			return core.NewDualStack[T](c.wait)
+			if c.fair {
+				return core.NewDualQueue[T](w)
+			}
+			return core.NewDualStack[T](w)
 		})
+		// Fabric-level events — steal counts, steal latency — go to the
+		// root handle, not to any one shard.
 		fab.SetMetrics(c.wait.Metrics)
 		fab.SetFault(c.wait.Fault)
 		q.impl = fab
@@ -197,6 +226,11 @@ func (q *SynchronousQueue[T]) Shards() int {
 	}
 	return q.shards
 }
+
+// Metrics returns the instrumentation set attached with the Instrument
+// option, or nil for an uninstrumented queue. Nil is safe to use: every
+// *Metrics method (Stats, Reset, …) works on a nil receiver.
+func (q *SynchronousQueue[T]) Metrics() *Metrics { return q.inst }
 
 // Put transfers v to a consumer, waiting as long as necessary for one to
 // arrive.
@@ -233,9 +267,6 @@ func (q *SynchronousQueue[T]) PollTimeout(d time.Duration) (T, bool) {
 // context.Canceled for a plain cancel) — so callers can distinguish "ran
 // out of patience" from "told to stop" with errors.Is.
 func (q *SynchronousQueue[T]) PutContext(ctx context.Context, v T) error {
-	if q.impl.Closed() {
-		return ErrClosed
-	}
 	deadline, _ := ctx.Deadline()
 	st := q.impl.PutDeadline(v, deadline, ctx.Done())
 	if st == core.OK {
@@ -250,9 +281,6 @@ func (q *SynchronousQueue[T]) PutContext(ctx context.Context, v T) error {
 // cancellation cause when it was canceled externally.
 func (q *SynchronousQueue[T]) TakeContext(ctx context.Context) (T, error) {
 	var zero T
-	if q.impl.Closed() {
-		return zero, ErrClosed
-	}
 	deadline, _ := ctx.Deadline()
 	v, st := q.impl.TakeDeadline(deadline, ctx.Done())
 	if st == core.OK {

@@ -18,17 +18,19 @@ import (
 // Construct one with NewTransferQueue; a TransferQueue must not be copied
 // after first use.
 type TransferQueue[T any] struct {
-	tq *core.TransferQueue[T]
+	tq   *core.TransferQueue[T]
+	inst *Metrics
 }
 
 // NewTransferQueue returns an empty transfer queue with default options.
 func NewTransferQueue[T any](opts ...Option) *TransferQueue[T] {
-	var c config
-	for _, o := range opts {
-		o(&c)
-	}
-	return &TransferQueue[T]{tq: core.NewTransferQueue[T](c.wait)}
+	c := buildConfig(opts)
+	return &TransferQueue[T]{tq: core.NewTransferQueue[T](c.wait), inst: c.inst}
 }
+
+// Metrics returns the instrumentation set attached with the Instrument
+// option, or nil for an uninstrumented queue.
+func (t *TransferQueue[T]) Metrics() *Metrics { return t.inst }
 
 // Put deposits v asynchronously: a waiting consumer receives it directly,
 // otherwise it is buffered in FIFO order. Put never blocks. Like a send on
@@ -67,9 +69,6 @@ func (t *TransferQueue[T]) TransferTimeout(v T, d time.Duration) bool {
 // ErrTimeout when the context's own deadline expired, and otherwise the
 // context's cancellation cause (context.Canceled for a plain cancel).
 func (t *TransferQueue[T]) TransferContext(ctx context.Context, v T) error {
-	if t.tq.Closed() {
-		return ErrClosed
-	}
 	deadline, _ := ctx.Deadline()
 	st := t.tq.TransferDeadline(v, deadline, ctx.Done())
 	if st == core.OK {
