@@ -1,8 +1,8 @@
 # Tier-1 gate: everything `make check` runs must pass before a change
 # lands. CI and the pre-merge driver run exactly this target.
-.PHONY: check vet build test race bench-overhead bench-smoke bench-scaling bench-latency stress chaos chaos-short
+.PHONY: check vet build test race bench-overhead bench-smoke bench-scaling bench-latency stress soak soak-short
 
-check: vet build test race bench-smoke bench-scaling bench-latency chaos-short
+check: vet build test race bench-smoke bench-scaling bench-latency soak-short
 
 vet:
 	go vet ./...
@@ -50,18 +50,20 @@ bench-latency:
 stress:
 	go run ./cmd/sqstress -all -metrics -duration 2s
 
-# Short seeded chaos pass over all three dual structures, race-enabled:
-# deterministic CAS failures, preemptions, spurious unparks, and timer
-# skew, with the full history checked for conservation and synchrony.
-# The fixed seed makes a CI failure replayable verbatim on a laptop.
-chaos-short:
-	go run -race ./cmd/sqstress -algo "New SynchQueue,New SynchQueue (fair),New TransferQueue" \
-		-chaos -seed 1 -duration 300ms -producers 4 -consumers 4
-	go run -race ./cmd/sqstress -algo "Sharded SynchQueue (fair),Eliminating SynchQueue (fair)" \
-		-chaos -seed 1 -procs 8 -duration 300ms -producers 4 -consumers 4
+# Short property-declared chaos leg, race-enabled: the whole core × option
+# matrix runs the full scenario library at 300ms per scenario under
+# deterministic fault injection, and the verdict table must be all-pass —
+# every always-invariant holds, every sometimes-event fired, every fault
+# site was reached. A failing row makes the exit nonzero and prints a
+# copy-pasteable replay command; the fixed seed makes CI failures
+# replayable verbatim on a laptop.
+soak-short:
+	go run -race ./cmd/sqstress -chaos -seed 1 -scenario-duration 300ms \
+		-producers 4 -consumers 4 -procs 8
 
-# Long chaos soak for hunting new schedules: vary -seed to explore, then
-# replay any failure with the seed the run printed.
-chaos:
-	go run -race ./cmd/sqstress -algo "New SynchQueue,New SynchQueue (fair),New TransferQueue" \
-		-chaos -seed $$RANDOM -duration 10s -metrics
+# Long chaos soak for hunting new schedules: 2s per scenario, fresh seed
+# per run, JSON verdicts kept for the record. Replay any failing cell with
+# the replay line it prints.
+soak:
+	go run -race ./cmd/sqstress -chaos -seed $$RANDOM -scenario-duration 2s \
+		-producers 4 -consumers 4 -procs 8 -json soak-verdicts.json

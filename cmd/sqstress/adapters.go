@@ -1,0 +1,361 @@
+package main
+
+// Chaos adapters: one uniform, status-returning surface over every
+// structure the chaos harness drives, so the scenario library can run the
+// same workload — and the property suite can check the same invariants —
+// against the dual stack, the dual queue, the transfer queue, the sharded
+// fabric, the eliminating composition, and the executor pool.
+//
+// Each adapter is described by a coreDef carrying its capability flags
+// (which properties apply) and its fault-site classes (which Reachable
+// properties are registered), so adding a structure to the harness is one
+// table entry, not a new test body.
+
+import (
+	"sync/atomic"
+	"time"
+
+	"synchq/internal/core"
+	"synchq/internal/exchanger"
+	"synchq/internal/fault"
+	"synchq/internal/metrics"
+	"synchq/internal/shard"
+	"synchq/pool"
+)
+
+// chaosStruct is the surface the scenario library drives. Offers and polls
+// are deadline-bounded and cancelable; both report the full Status so
+// scenarios can distinguish timeouts, cancellations, and closed rejections.
+type chaosStruct interface {
+	ChaosOffer(v int64, patience time.Duration, cancel <-chan struct{}) core.Status
+	ChaosPoll(patience time.Duration, cancel <-chan struct{}) (int64, core.Status)
+	Close()
+	Closed() bool
+}
+
+// quiescer is implemented by adapters with internal goroutines (the pool's
+// workers): Quiesce waits for them with a bound and reports success. The
+// harness's no-stranded-waiter property fails when it reports false.
+type quiescer interface {
+	Quiesce(d time.Duration) bool
+}
+
+// coreDef describes one structure under test.
+type coreDef struct {
+	// key is the stable config name used in -cores and the verdict table.
+	key  string
+	// desc is the human-readable structure name.
+	desc string
+	// fifo: per-producer FIFO delivery is part of the contract (plain
+	// fair queue and the transfer queue; sharding and elimination
+	// deliberately relax global order, the stack is LIFO).
+	fifo bool
+	// syncPair: put and take intervals must overlap (every synchronous
+	// structure; the executor pool runs tasks asynchronously).
+	syncPair bool
+	// cancelable: the structure supports per-operation cancel channels.
+	cancelable bool
+	// buffered is the structure's legal buffering capacity (0 for the
+	// synchronous cores); it widens the continuous conservation slack.
+	buffered int64
+	// classes are the fault-site classes the structure queries; every
+	// site in them is registered as a Reachable property.
+	classes []fault.Class
+	// sometimesCounters maps a metrics counter to the sometimes-property
+	// its per-scenario delta evidences (e.g. ElimHits → elimination-fires).
+	sometimesCounters map[metrics.ID]string
+	// build constructs a fresh instance wired to the shared metrics
+	// handle and injector carried inside cfg.
+	build func(cfg core.WaitConfig) chaosStruct
+}
+
+// optDef is one WaitConfig variant of the option axis.
+type optDef struct {
+	key string
+	// apply mutates the base WaitConfig (which already carries the
+	// metrics handle and injector).
+	apply func(cfg core.WaitConfig) core.WaitConfig
+}
+
+var optDefs = []optDef{
+	{key: "default", apply: func(cfg core.WaitConfig) core.WaitConfig { return cfg }},
+	{key: "nospin", apply: func(cfg core.WaitConfig) core.WaitConfig {
+		cfg.TimedSpins = -1
+		cfg.UntimedSpins = -1
+		return cfg
+	}},
+}
+
+func optByKey(key string) (optDef, bool) {
+	for _, o := range optDefs {
+		if o.key == key {
+			return o, true
+		}
+	}
+	return optDef{}, false
+}
+
+// ---- dual queue -----------------------------------------------------------
+
+type queueChaos struct{ q *core.DualQueue[int64] }
+
+func (a queueChaos) ChaosOffer(v int64, d time.Duration, cancel <-chan struct{}) core.Status {
+	return a.q.PutDeadline(v, time.Now().Add(d), cancel)
+}
+func (a queueChaos) ChaosPoll(d time.Duration, cancel <-chan struct{}) (int64, core.Status) {
+	return a.q.TakeDeadline(time.Now().Add(d), cancel)
+}
+func (a queueChaos) Close()       { a.q.Close() }
+func (a queueChaos) Closed() bool { return a.q.Closed() }
+
+// ---- dual stack -----------------------------------------------------------
+
+type stackChaos struct{ s *core.DualStack[int64] }
+
+func (a stackChaos) ChaosOffer(v int64, d time.Duration, cancel <-chan struct{}) core.Status {
+	return a.s.PutDeadline(v, time.Now().Add(d), cancel)
+}
+func (a stackChaos) ChaosPoll(d time.Duration, cancel <-chan struct{}) (int64, core.Status) {
+	return a.s.TakeDeadline(time.Now().Add(d), cancel)
+}
+func (a stackChaos) Close()       { a.s.Close() }
+func (a stackChaos) Closed() bool { return a.s.Closed() }
+
+// ---- transfer queue -------------------------------------------------------
+
+type transferChaos struct{ t *core.TransferQueue[int64] }
+
+func (a transferChaos) ChaosOffer(v int64, d time.Duration, cancel <-chan struct{}) core.Status {
+	return a.t.TransferDeadline(v, time.Now().Add(d), cancel)
+}
+func (a transferChaos) ChaosPoll(d time.Duration, cancel <-chan struct{}) (int64, core.Status) {
+	return a.t.TakeDeadline(time.Now().Add(d), cancel)
+}
+func (a transferChaos) Close()       { a.t.Close() }
+func (a transferChaos) Closed() bool { return a.t.Closed() }
+
+// ---- sharded fabric -------------------------------------------------------
+
+type fabricChaos struct{ f *shard.Fabric[int64] }
+
+func (a fabricChaos) ChaosOffer(v int64, d time.Duration, cancel <-chan struct{}) core.Status {
+	return a.f.PutDeadline(v, time.Now().Add(d), cancel)
+}
+func (a fabricChaos) ChaosPoll(d time.Duration, cancel <-chan struct{}) (int64, core.Status) {
+	return a.f.TakeDeadline(time.Now().Add(d), cancel)
+}
+func (a fabricChaos) Close()       { a.f.Close() }
+func (a fabricChaos) Closed() bool { return a.f.Closed() }
+
+// ---- eliminating composition ----------------------------------------------
+
+// elimChaos alternates the adaptive arena entry points with fixed-patience
+// attempts. The adaptive controller tunes its patience to µs-scale
+// hand-off latencies; under the race detector's slowdown on a small host
+// every op takes longer than that, the controller correctly collapses,
+// and elimination would never fire — so every other operation dwells in
+// the arena long enough for a race-slowed partner to arrive, keeping the
+// slot CAS/fulfill/retract sites and the elimination-fires event exercised
+// in both regimes.
+type elimChaos struct {
+	arena *exchanger.Arena[int64]
+	q     *core.DualQueue[int64]
+	alt   *atomic.Int64
+}
+
+// elimStaticPatience is the fixed arena dwell of the non-adaptive leg.
+const elimStaticPatience = 100 * time.Microsecond
+
+func (a elimChaos) ChaosOffer(v int64, d time.Duration, cancel <-chan struct{}) core.Status {
+	if a.alt.Add(1)%2 == 0 {
+		if a.arena.TryGiveAdaptive(v) {
+			return core.OK
+		}
+	} else if a.arena.TryGive(v, elimStaticPatience) {
+		return core.OK
+	}
+	return a.q.PutDeadline(v, time.Now().Add(d), cancel)
+}
+func (a elimChaos) ChaosPoll(d time.Duration, cancel <-chan struct{}) (int64, core.Status) {
+	if a.alt.Add(1)%2 == 0 {
+		if v, ok := a.arena.TryTakeAdaptive(); ok {
+			return v, core.OK
+		}
+	} else if v, ok := a.arena.TryTake(elimStaticPatience); ok {
+		return v, core.OK
+	}
+	return a.q.TakeDeadline(time.Now().Add(d), cancel)
+}
+func (a elimChaos) Close()       { a.q.Close() }
+func (a elimChaos) Closed() bool { return a.q.Closed() }
+
+// ---- executor pool --------------------------------------------------------
+
+// poolChaos brings the executor tier under the harness invariants: an
+// offer is a Submit of a task that delivers its value into a results
+// channel, a poll is a receive from that channel. Conservation then states
+// "every accepted task runs exactly once"; synchrony does not apply
+// (execution is asynchronous), and the backing synchronous queue runs
+// under the same fault injector as the bare cores.
+type poolChaos struct {
+	p       *pool.Pool
+	q       *core.DualQueue[pool.Task]
+	results chan int64
+	closed  atomic.Bool
+}
+
+// poolResultsCap bounds the in-flight executed-but-unconsumed values; it
+// is also the pool config's legal buffering for the conservation slack.
+const poolResultsCap = 1 << 14
+
+// poolQueue adapts the injected dual queue to the pool.Queue surface.
+type poolQueue struct{ q *core.DualQueue[pool.Task] }
+
+func (pq poolQueue) Offer(t pool.Task) bool                        { return pq.q.Offer(t) }
+func (pq poolQueue) PollTimeout(d time.Duration) (pool.Task, bool) { return pq.q.PollTimeout(d) }
+
+func newPoolChaos(cfg core.WaitConfig) *poolChaos {
+	q := core.NewDualQueue[pool.Task](cfg)
+	a := &poolChaos{q: q, results: make(chan int64, poolResultsCap)}
+	a.p = pool.New(poolQueue{q}, pool.Config{
+		// A short keep-alive makes idle workers expire constantly, so
+		// the backing queue's timeout and clean paths run under chaos.
+		KeepAlive:  2 * time.Millisecond,
+		MaxWorkers: 32,
+	})
+	return a
+}
+
+func (a *poolChaos) ChaosOffer(v int64, d time.Duration, cancel <-chan struct{}) core.Status {
+	err := a.p.Submit(func() { a.results <- v })
+	switch err {
+	case nil:
+		return core.OK
+	case pool.ErrShutdown:
+		return core.Closed
+	default: // ErrSaturated: the pool is at MaxWorkers with no idle worker
+		return core.Timeout
+	}
+}
+
+func (a *poolChaos) ChaosPoll(d time.Duration, cancel <-chan struct{}) (int64, core.Status) {
+	select {
+	case v := <-a.results:
+		return v, core.OK
+	default:
+	}
+	if a.closed.Load() {
+		// Drain any stragglers before reporting Closed so the harness's
+		// drain loop empties the channel.
+		select {
+		case v := <-a.results:
+			return v, core.OK
+		default:
+			return 0, core.Closed
+		}
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case v := <-a.results:
+		return v, core.OK
+	case <-t.C:
+		return 0, core.Timeout
+	}
+}
+
+func (a *poolChaos) Close() {
+	a.closed.Store(true)
+	a.p.Shutdown()
+	a.q.Close()
+}
+
+func (a *poolChaos) Closed() bool { return a.closed.Load() }
+
+// Quiesce waits for the pool's workers to exit.
+func (a *poolChaos) Quiesce(d time.Duration) bool {
+	done := make(chan struct{})
+	go func() { a.p.Wait(); close(done) }()
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-done:
+		return true
+	case <-t.C:
+		return false
+	}
+}
+
+// ---- the core registry ----------------------------------------------------
+
+// coreDefs is the harness's structure matrix, in verdict-table order.
+var coreDefs = []coreDef{
+	{
+		key: "stack", desc: "dual stack (unfair)",
+		syncPair: true, cancelable: true,
+		classes: []fault.Class{fault.ClassStack, fault.ClassWait},
+		build: func(cfg core.WaitConfig) chaosStruct {
+			return stackChaos{core.NewDualStack[int64](cfg)}
+		},
+	},
+	{
+		key: "queue", desc: "dual queue (fair)",
+		fifo: true, syncPair: true, cancelable: true,
+		classes: []fault.Class{fault.ClassQueue, fault.ClassWait},
+		build: func(cfg core.WaitConfig) chaosStruct {
+			return queueChaos{core.NewDualQueue[int64](cfg)}
+		},
+	},
+	{
+		key: "transfer", desc: "transfer queue (§5)",
+		fifo: true, syncPair: true, cancelable: true,
+		classes: []fault.Class{fault.ClassQueue, fault.ClassWait},
+		build: func(cfg core.WaitConfig) chaosStruct {
+			return transferChaos{core.NewTransferQueue[int64](cfg)}
+		},
+	},
+	{
+		key: "sharded", desc: "sharded fabric over fair queues",
+		syncPair: true, cancelable: true,
+		classes: []fault.Class{fault.ClassQueue, fault.ClassShard, fault.ClassWait},
+		sometimesCounters: map[metrics.ID]string{
+			metrics.ShardSteals: "cross-shard-steal",
+		},
+		build: func(cfg core.WaitConfig) chaosStruct {
+			fab := shard.New(0, func(int) shard.Dual[int64] {
+				return core.NewDualQueue[int64](cfg)
+			}).SetMetrics(cfg.Metrics).SetFault(cfg.Fault)
+			return fabricChaos{fab}
+		},
+	},
+	{
+		key: "elim", desc: "adaptive elimination over fair queue",
+		syncPair: true, cancelable: true,
+		classes: []fault.Class{fault.ClassQueue, fault.ClassExchanger, fault.ClassWait},
+		sometimesCounters: map[metrics.ID]string{
+			metrics.ElimHits: "elimination-fires",
+		},
+		build: func(cfg core.WaitConfig) chaosStruct {
+			arena := exchanger.NewArenaAdaptive[int64](0).
+				SetMetrics(cfg.Metrics).SetFault(cfg.Fault)
+			return elimChaos{arena: arena, q: core.NewDualQueue[int64](cfg), alt: new(atomic.Int64)}
+		},
+	},
+	{
+		key: "pool", desc: "executor pool over fair queue",
+		buffered: poolResultsCap,
+		classes:  []fault.Class{fault.ClassQueue, fault.ClassWait},
+		build: func(cfg core.WaitConfig) chaosStruct {
+			return newPoolChaos(cfg)
+		},
+	},
+}
+
+func coreByKey(key string) (coreDef, bool) {
+	for _, c := range coreDefs {
+		if c.key == key {
+			return c, true
+		}
+	}
+	return coreDef{}, false
+}

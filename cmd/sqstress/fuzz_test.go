@@ -1,0 +1,77 @@
+package main
+
+// FuzzChaosSchedule feeds arbitrary bytes into the chaos harness as a
+// fault schedule: the input selects the structure under test, the wait
+// configuration, the scenario, and the injector's rates and seed. Every
+// mutation is a differently shaped storm of CAS failures, preemptions,
+// spurious wakeups, and timer skew; the always-properties (conservation,
+// synchrony, per-producer FIFO, no stranded waiter) must survive all of
+// them. Sometimes/reachable rows are coverage demands on the full soak
+// matrix, not on a single ~30ms fuzz case, so they are not asserted here.
+
+import (
+	"testing"
+	"time"
+
+	"synchq/internal/fault"
+	"synchq/internal/metrics"
+	"synchq/internal/props"
+)
+
+func FuzzChaosSchedule(f *testing.F) {
+	// One seed per core (byte 0), covering both options (byte 1), varied
+	// scenarios (byte 6) and rate bytes from gentle to vicious.
+	f.Add(uint64(1), []byte{0, 0, 10, 2, 5, 25, 0})
+	f.Add(uint64(2), []byte{1, 1, 30, 8, 10, 50, 3})
+	f.Add(uint64(3), []byte{2, 0, 60, 16, 20, 100, 4})
+	f.Add(uint64(4), []byte{3, 1, 120, 32, 40, 200, 5})
+	f.Add(uint64(5), []byte{4, 0, 200, 64, 80, 255, 2})
+	f.Add(uint64(6), []byte{5, 1, 255, 128, 160, 128, 6})
+	f.Add(uint64(7), []byte{})
+
+	f.Fuzz(func(t *testing.T, seed uint64, sched []byte) {
+		if len(sched) == 0 {
+			sched = []byte{0}
+		}
+		b := func(i int) byte { return sched[i%len(sched)] }
+
+		c := coreDefs[int(b(0))%len(coreDefs)]
+		op := optDefs[int(b(1))%len(optDefs)]
+		inj := fault.New(fault.Config{
+			Seed:             seed,
+			FailCASRate:      float64(b(2)) / 512,  // up to ~50%
+			PreemptRate:      float64(b(3)) / 4096, // up to ~6%
+			SpuriousWakeRate: float64(b(4)) / 1024,
+			TimerSkewRate:    float64(b(5)) / 512,
+		})
+		rc := &runCtx{
+			core:      c,
+			opt:       op,
+			suite:     props.NewSuite("fuzz:" + c.key + "/" + op.key),
+			h:         metrics.New(),
+			inj:       inj,
+			seed:      seed,
+			producers: 2,
+			consumers: 2,
+		}
+		registerProperties(rc)
+
+		sc := scenarioLib[int(b(6))%len(scenarioLib)]
+		if sc.needsCancel && !c.cancelable {
+			sc = scenarioLib[0]
+		}
+		sc.run(rc, 30*time.Millisecond)
+
+		for _, v := range rc.suite.Verdicts() {
+			if v.Kind == props.Always.String() && !v.Pass() {
+				t.Errorf("always property %s violated under schedule %v: %s",
+					v.Property, sched, v.Detail)
+			}
+		}
+		if t.Failed() {
+			report := props.NewReport(seed, 0, []string{sc.name})
+			report.Add(rc.suite)
+			t.Logf("verdicts:\n%s", report.Render())
+		}
+	})
+}

@@ -5,17 +5,24 @@
 // conservation (no value lost, duplicated, or invented) and synchrony
 // (every transfer's put and take intervals overlap).
 //
-// With -chaos, the core dual structures additionally run under the
-// deterministic fault injector (internal/fault): seeded CAS failures,
-// preemption pauses at linearization-critical windows, spurious unparks,
-// and timer skew. A failing run prints its seed; re-running with the same
-// -seed replays the same injected-event stream.
+// With -chaos, sqstress instead runs the property-declared chaos harness:
+// every core × option configuration (dual stack, dual queue, transfer
+// queue, sharded fabric, eliminating composition, executor pool; default
+// and no-spin wait configs) is driven through a scenario library — bursty
+// open/close cycles, skew flips, cancel storms, goroutine churn,
+// slow-consumer backpressure, GOMAXPROCS shifts — under the deterministic
+// fault injector (internal/fault), against named Always / Sometimes /
+// Reachable properties. The run emits a verdict table (text, plus JSON via
+// -json); any failing row makes the exit status nonzero and prints a
+// one-line replay command that re-runs that configuration with the same
+// seed, hence the same injected-event stream.
 //
 // Usage:
 //
 //	sqstress -algo "New SynchQueue (fair)" -duration 10s -producers 8 -consumers 8
-//	sqstress -algo "New SynchQueue,New TransferQueue" -chaos -seed 42 -duration 2s
 //	sqstress -all -duration 2s
+//	sqstress -chaos -seed 42 -scenario-duration 300ms -json verdicts.json
+//	sqstress -chaos -cores queue,elim -opts nospin -scenarios cancel-storm,churn
 package main
 
 import (
@@ -116,15 +123,41 @@ func main() {
 		producers = flag.Int("producers", 8, "producer goroutines")
 		consumers = flag.Int("consumers", 8, "consumer goroutines")
 		seed      = flag.Uint64("seed", 1, "PRNG seed for patience jitter and fault injection")
-		chaos     = flag.Bool("chaos", false, "inject deterministic faults (seeded CAS failures, preemptions, spurious unparks, timer skew) into the core dual structures")
+		chaos     = flag.Bool("chaos", false, "run the property-declared chaos harness: scenario library × core matrix under deterministic fault injection, with a verdict table")
 		metricsF  = flag.Bool("metrics", false, "print the instrumentation counter table after the runs (always printed on failure)")
 		httpAddr  = flag.String("http", "", "serve expvar at this address (e.g. :8080) so counters are scrapable at /debug/vars during long runs")
 		procs     = flag.Int("procs", 0, "GOMAXPROCS for the run; 0 keeps the runtime default. Raising it on a small host widens the shard fabric (its width follows GOMAXPROCS), so the cross-shard steal paths get stressed too")
+
+		// Chaos-harness matrix selectors (with -chaos only).
+		coresF      = flag.String("cores", "", "chaos: comma-separated core keys (stack,queue,transfer,sharded,elim,pool); empty = all")
+		optsF       = flag.String("opts", "", "chaos: comma-separated option keys (default,nospin); empty = all")
+		scenariosF  = flag.String("scenarios", "", "chaos: comma-separated scenario names; empty or \"all\" = whole library")
+		scenarioDur = flag.Duration("scenario-duration", 2*time.Second, "chaos: workload duration per scenario")
+		jsonPath    = flag.String("json", "", "chaos: write the machine-readable verdict report to this file (\"-\" = stdout)")
+		sabotageF   = flag.Bool("chaos-sabotage", false, "chaos: register a deliberately broken always-checker (self-test: the run must fail with a nonzero exit)")
 	)
 	flag.Parse()
 
 	if *procs > 0 {
 		runtime.GOMAXPROCS(*procs)
+	}
+
+	if *chaos {
+		o := chaosOptions{
+			seed:        *seed,
+			cores:       splitKeys(*coresF),
+			opts:        splitKeys(*optsF),
+			scenarios:   splitKeys(*scenariosF),
+			scenarioDur: *scenarioDur,
+			producers:   *producers,
+			consumers:   *consumers,
+			jsonPath:    *jsonPath,
+			sabotage:    *sabotageF,
+		}
+		if _, ok := runChaosMatrix(o); !ok {
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *httpAddr != "" {
@@ -160,10 +193,6 @@ func main() {
 			"Eliminating SynchQueue (fair)")
 	}
 
-	if *chaos {
-		fmt.Printf("chaos: seed=%d (re-run with -chaos -seed %d to replay the injected-event stream)\n", *seed, *seed)
-	}
-
 	// One counter table across all stressed algorithms: a row per counter,
 	// a column per instrumented algorithm. The core structures are always
 	// metered so the table can be dumped when a run fails; -metrics merely
@@ -183,11 +212,7 @@ func main() {
 	exit := 0
 	for _, name := range names {
 		h := metrics.New()
-		var inj *fault.Injector
-		if *chaos {
-			inj = fault.Chaos(*seed)
-		}
-		q, metered := newTimed(name, h, inj)
+		q, metered := newTimed(name, h, nil)
 		if q == nil {
 			fmt.Fprintf(os.Stderr, "sqstress: algorithm %q lacks the timed interface\n", name)
 			os.Exit(2)
@@ -197,9 +222,8 @@ func main() {
 		}
 		if !stress(name, q, *duration, *producers, *consumers, *seed) {
 			exit = 1
-		}
-		if *chaos && metered {
-			fmt.Printf("  %s\n", inj)
+			fmt.Printf("  replay: go run ./cmd/sqstress -algo %q -duration %s -producers %d -consumers %d -seed %d -procs %d\n",
+				name, *duration, *producers, *consumers, *seed, runtime.GOMAXPROCS(0))
 		}
 		if metered && counterTable != nil {
 			s := h.Snapshot()
@@ -224,6 +248,18 @@ func main() {
 		fmt.Print(latencyTable.Render())
 	}
 	os.Exit(exit)
+}
+
+// splitKeys parses a comma-separated selector flag; "all" (or empty)
+// selects everything.
+func splitKeys(s string) []string {
+	var out []string
+	for _, k := range strings.Split(s, ",") {
+		if k = strings.TrimSpace(k); k != "" && k != "all" {
+			out = append(out, k)
+		}
+	}
+	return out
 }
 
 // stress runs the mixed workload and verifies the recorded history. It

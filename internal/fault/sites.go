@@ -1,0 +1,106 @@
+package fault
+
+// Site enumeration and classification for coverage-driven harnesses.
+//
+// The chaos harness's Reachable properties assert that every fault site
+// registered for a structure is actually hit during a run — a chaos
+// schedule that no longer penetrates a site has silently stopped testing
+// the interleavings behind it. That requires two things the injector's
+// counters alone do not give: a way to enumerate the sites, and a way to
+// know which sites a given structure can reach at all (a dual stack never
+// queries the queue's sites, a plain core never queries the shard fabric's
+// steal probe).
+
+// Class groups the injection sites by the structure that queries them.
+type Class int
+
+const (
+	// ClassQueue sites are queried by the dual queue (and everything
+	// built on it: the transfer queue, queue-backed fabrics and pools).
+	ClassQueue Class = iota
+	// ClassStack sites are queried by the dual stack.
+	ClassStack
+	// ClassExchanger sites are queried by the elimination arena.
+	ClassExchanger
+	// ClassShard sites are queried by the sharded hand-off fabric.
+	ClassShard
+	// ClassWait sites are queried by the shared waiting machinery
+	// (parker and timers) under every structure.
+	ClassWait
+)
+
+// String returns the class's stable name.
+func (c Class) String() string {
+	switch c {
+	case ClassQueue:
+		return "queue"
+	case ClassStack:
+		return "stack"
+	case ClassExchanger:
+		return "exchanger"
+	case ClassShard:
+		return "shard"
+	case ClassWait:
+		return "wait"
+	default:
+		return "invalid"
+	}
+}
+
+// siteClasses maps each site to the structure class that queries it.
+var siteClasses = [NumSites]Class{
+	QEnqueueCAS:     ClassQueue,
+	QFulfillCAS:     ClassQueue,
+	QCleanCAS:       ClassQueue,
+	QEnqueuePause:   ClassQueue,
+	QFulfillPause:   ClassQueue,
+	SPushCAS:        ClassStack,
+	SFulfillCAS:     ClassStack,
+	SCleanCAS:       ClassStack,
+	SFulfillPause:   ClassStack,
+	SHelpPause:      ClassStack,
+	XSlotCAS:        ClassExchanger,
+	XFulfillCAS:     ClassExchanger,
+	XFulfillPause:   ClassExchanger,
+	QCloseRacePause: ClassQueue,
+	SCloseRacePause: ClassStack,
+	XArenaPause:     ClassExchanger,
+	ShardStealCAS:   ClassShard,
+	ParkSpurious:    ClassWait,
+	TimerSkew:       ClassWait,
+}
+
+// Class returns the structure class that queries s.
+func (s Site) Class() Class {
+	if s < 0 || s >= NumSites {
+		return Class(-1)
+	}
+	return siteClasses[s]
+}
+
+// Sites returns every injection site in declaration order.
+func Sites() []Site {
+	out := make([]Site, NumSites)
+	for i := range out {
+		out[i] = Site(i)
+	}
+	return out
+}
+
+// SitesOf returns, in declaration order, the sites queried by any of the
+// given classes — the site set a structure composed of those classes can
+// reach, and therefore the set a coverage harness should register as
+// Reachable for it.
+func SitesOf(classes ...Class) []Site {
+	var mask uint64
+	for _, c := range classes {
+		mask |= 1 << uint(c)
+	}
+	var out []Site
+	for s := Site(0); s < NumSites; s++ {
+		if mask&(1<<uint(s.Class())) != 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}

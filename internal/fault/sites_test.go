@@ -1,0 +1,48 @@
+package fault
+
+import "testing"
+
+// TestEverySiteClassified guards the enumeration against a new site being
+// added without a class: an unclassified site would silently drop out of
+// every structure's Reachable set.
+func TestEverySiteClassified(t *testing.T) {
+	seen := make(map[Class]int)
+	for _, s := range Sites() {
+		c := s.Class()
+		if c < ClassQueue || c > ClassWait {
+			t.Fatalf("site %s has invalid class %d", s, c)
+		}
+		seen[c]++
+	}
+	if len(Sites()) != int(NumSites) {
+		t.Fatalf("Sites() returned %d of %d sites", len(Sites()), NumSites)
+	}
+	for c := ClassQueue; c <= ClassWait; c++ {
+		if seen[c] == 0 {
+			t.Fatalf("class %s has no sites — classification table stale", c)
+		}
+	}
+}
+
+func TestSitesOfPartitions(t *testing.T) {
+	total := 0
+	for c := ClassQueue; c <= ClassWait; c++ {
+		total += len(SitesOf(c))
+	}
+	if total != int(NumSites) {
+		t.Fatalf("classes must partition the sites: got %d of %d", total, NumSites)
+	}
+
+	// A queue-backed structure's set: queue + wait sites, nothing else.
+	for _, s := range SitesOf(ClassQueue, ClassWait) {
+		if c := s.Class(); c != ClassQueue && c != ClassWait {
+			t.Fatalf("SitesOf(queue,wait) leaked %s (class %s)", s, c)
+		}
+	}
+	if len(SitesOf(ClassShard)) != 1 || SitesOf(ClassShard)[0] != ShardStealCAS {
+		t.Fatalf("shard class must hold exactly the steal site, got %v", SitesOf(ClassShard))
+	}
+	if len(SitesOf()) != 0 {
+		t.Fatalf("SitesOf() with no classes must be empty")
+	}
+}

@@ -1,0 +1,147 @@
+package verify
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Classified is the outcome of checking a history with the violations
+// attributed to the named invariant they break, so a property-declared
+// harness can fail the right verdict row instead of a single undifferentiated
+// error list.
+type Classified struct {
+	// Transfers is the number of matched put/take pairs.
+	Transfers int
+	// Conservation lists violations of "every value taken was put exactly
+	// once, and every successful put was taken exactly once": losses,
+	// duplications, inventions.
+	Conservation []string
+	// Synchrony lists transfers whose put and take intervals do not
+	// overlap — a value handed through a buffer rather than a handshake.
+	Synchrony []string
+}
+
+// Ok reports whether the history passed both checks.
+func (c Classified) Ok() bool {
+	return len(c.Conservation) == 0 && len(c.Synchrony) == 0
+}
+
+// CheckClassified is Check with the violations split by the invariant they
+// break. The same bound (20 retained violations per class) applies.
+func CheckClassified(history []Op, drained bool) Classified {
+	var c Classified
+	conserve := func(format string, args ...any) { appendBounded(&c.Conservation, format, args...) }
+	sync := func(format string, args ...any) { appendBounded(&c.Synchrony, format, args...) }
+
+	puts := make(map[int64]Op)
+	takes := make(map[int64]Op)
+	for _, op := range history {
+		if !op.OK {
+			continue
+		}
+		if op.Respond < op.Invoke {
+			sync("operation responds before invocation: %+v", op)
+		}
+		switch op.Kind {
+		case Put:
+			if prev, dup := puts[op.Value]; dup {
+				conserve("value %d put twice: %+v and %+v", op.Value, prev, op)
+				continue
+			}
+			puts[op.Value] = op
+		case Take:
+			if prev, dup := takes[op.Value]; dup {
+				conserve("value %d taken twice: %+v and %+v", op.Value, prev, op)
+				continue
+			}
+			takes[op.Value] = op
+		}
+	}
+	for v, t := range takes {
+		p, ok := puts[v]
+		if !ok {
+			conserve("value %d taken but never put", v)
+			continue
+		}
+		if p.Respond < t.Invoke || t.Respond < p.Invoke {
+			sync("non-overlapping transfer of %d: put [%v,%v] take [%v,%v]",
+				v, p.Invoke, p.Respond, t.Invoke, t.Respond)
+			continue
+		}
+		c.Transfers++
+	}
+	if drained {
+		for v := range puts {
+			if _, ok := takes[v]; !ok {
+				conserve("value %d put (successfully) but never taken", v)
+			}
+		}
+	}
+	return c
+}
+
+// appendBounded appends a formatted violation, retaining at most 20.
+func appendBounded(dst *[]string, format string, args ...any) {
+	if len(*dst) < 20 {
+		*dst = append(*dst, fmt.Sprintf(format, args...))
+	}
+}
+
+// FIFOErrors checks per-producer FIFO delivery from timestamps alone,
+// conservatively: producer attributes each successful put to its producer
+// via the supplied value→producer map (the harness tags values with the
+// producer id in the high bits).
+//
+// A single producer's puts are sequential, so its put order is total. On a
+// fair (FIFO) structure, the matching takes must linearize in that same
+// order. Linearization order cannot in general be read off timestamps, but
+// a sound necessary condition can: if put(v1) responded before put(v2) was
+// invoked (always true for one producer's consecutive puts) then take(v1)
+// precedes take(v2) in any FIFO linearization, and a take that RESPONDS
+// before its predecessor's take was INVOKED cannot follow it in any
+// linearization. Flagging only that real-time inversion yields no false
+// positives regardless of scheduling skew.
+//
+// At most 20 violations are returned.
+func FIFOErrors(history []Op, producer func(v int64) int64) []string {
+	puts := make(map[int64]Op)
+	takes := make(map[int64]Op)
+	for _, op := range history {
+		if !op.OK {
+			continue
+		}
+		if op.Kind == Put {
+			puts[op.Value] = op
+		} else {
+			takes[op.Value] = op
+		}
+	}
+
+	// Group each producer's successfully put values in put order.
+	byProducer := make(map[int64][]Op)
+	for v, p := range puts {
+		if _, taken := takes[v]; !taken {
+			continue // undrained value: no take to order
+		}
+		byProducer[producer(v)] = append(byProducer[producer(v)], p)
+	}
+	var errs []string
+	for prod, ops := range byProducer {
+		sort.Slice(ops, func(i, j int) bool { return ops[i].Invoke < ops[j].Invoke })
+		// maxSeen tracks the latest take invocation among predecessors:
+		// any later value whose take responded before it is inverted.
+		maxSeen := takes[ops[0].Value]
+		for _, p := range ops[1:] {
+			t := takes[p.Value]
+			if t.Respond < maxSeen.Invoke {
+				appendBounded(&errs,
+					"producer %d FIFO inversion: take of %d [%v,%v] wholly precedes take of earlier-put %d [%v,%v]",
+					prod, p.Value, t.Invoke, t.Respond, maxSeen.Value, maxSeen.Invoke, maxSeen.Respond)
+			}
+			if t.Invoke > maxSeen.Invoke {
+				maxSeen = t
+			}
+		}
+	}
+	return errs
+}

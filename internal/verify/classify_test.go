@@ -1,0 +1,117 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func cop(kind Kind, v int64, inv, resp time.Duration) Op {
+	return Op{Kind: kind, Value: v, Invoke: inv, Respond: resp, OK: true}
+}
+
+func TestCheckClassifiedSplitsViolationClasses(t *testing.T) {
+	ms := time.Millisecond
+	history := []Op{
+		// Clean transfer.
+		cop(Put, 1, 0, 2*ms), cop(Take, 1, 1*ms, 3*ms),
+		// Synchrony violation: take wholly after put responded.
+		cop(Put, 2, 0, 1*ms), cop(Take, 2, 5*ms, 6*ms),
+		// Conservation violations: invented value, lost value.
+		cop(Take, 3, 0, 1*ms),
+		cop(Put, 4, 0, 1*ms),
+	}
+	c := CheckClassified(history, true)
+	if c.Ok() {
+		t.Fatal("history has violations of both classes")
+	}
+	if c.Transfers != 1 {
+		t.Fatalf("want 1 clean transfer, got %d", c.Transfers)
+	}
+	if len(c.Synchrony) != 1 || !strings.Contains(c.Synchrony[0], "non-overlapping transfer of 2") {
+		t.Fatalf("synchrony class wrong: %v", c.Synchrony)
+	}
+	if len(c.Conservation) != 2 {
+		t.Fatalf("want 2 conservation violations, got %v", c.Conservation)
+	}
+	joined := strings.Join(c.Conservation, "\n")
+	if !strings.Contains(joined, "value 3 taken but never put") ||
+		!strings.Contains(joined, "value 4 put (successfully) but never taken") {
+		t.Fatalf("conservation class wrong: %v", c.Conservation)
+	}
+
+	// Check must agree with CheckClassified (it delegates).
+	res := Check(history, true)
+	if res.Transfers != c.Transfers || len(res.Errors) != 3 {
+		t.Fatalf("Check/CheckClassified diverged: %+v vs %+v", res, c)
+	}
+}
+
+func TestCheckClassifiedCleanHistory(t *testing.T) {
+	ms := time.Millisecond
+	c := CheckClassified([]Op{
+		cop(Put, 1, 0, 2*ms), cop(Take, 1, 1*ms, 3*ms),
+		{Kind: Put, Value: 99, Invoke: 0, Respond: ms}, // failed op: ignored
+	}, true)
+	if !c.Ok() || c.Transfers != 1 {
+		t.Fatalf("clean history must pass: %+v", c)
+	}
+}
+
+// producerHigh24 is the harness's value-tagging convention: producer id in
+// the bits above 40.
+func producerHigh24(v int64) int64 { return v >> 40 }
+
+func TestFIFOErrorsDetectsInversion(t *testing.T) {
+	ms := time.Millisecond
+	p0 := func(seq int64) int64 { return 0<<40 | seq }
+	history := []Op{
+		// Producer 0 puts seq 0 then seq 1 (sequential, as a real
+		// producer goroutine would).
+		cop(Put, p0(0), 0, 2*ms),
+		cop(Put, p0(1), 3*ms, 5*ms),
+		// Inverted delivery: the take of seq 1 responds entirely before
+		// the take of seq 0 is invoked.
+		cop(Take, p0(1), 4*ms, 5*ms),
+		cop(Take, p0(0), 8*ms, 9*ms),
+	}
+	errs := FIFOErrors(history, producerHigh24)
+	if len(errs) != 1 || !strings.Contains(errs[0], "FIFO inversion") {
+		t.Fatalf("want one FIFO inversion, got %v", errs)
+	}
+}
+
+func TestFIFOErrorsAcceptsOverlapAmbiguity(t *testing.T) {
+	ms := time.Millisecond
+	p0 := func(seq int64) int64 { return 0<<40 | seq }
+	// The takes overlap in real time: either linearization order is
+	// possible, so a sound timestamp check must stay silent.
+	history := []Op{
+		cop(Put, p0(0), 0, 2*ms),
+		cop(Put, p0(1), 3*ms, 5*ms),
+		cop(Take, p0(0), 1*ms, 6*ms),
+		cop(Take, p0(1), 4*ms, 5*ms),
+	}
+	if errs := FIFOErrors(history, producerHigh24); len(errs) != 0 {
+		t.Fatalf("overlapping takes are order-ambiguous, got %v", errs)
+	}
+
+	// Independent producers are never ordered against each other.
+	p1 := func(seq int64) int64 { return 1<<40 | seq }
+	history = []Op{
+		cop(Put, p0(0), 0, 2*ms), cop(Take, p0(0), 20*ms, 21*ms),
+		cop(Put, p1(0), 3*ms, 5*ms), cop(Take, p1(0), 4*ms, 5*ms),
+	}
+	if errs := FIFOErrors(history, producerHigh24); len(errs) != 0 {
+		t.Fatalf("cross-producer order is unconstrained, got %v", errs)
+	}
+
+	// Undrained values (no matching take) are skipped, not flagged.
+	history = []Op{
+		cop(Put, p0(0), 0, 2*ms),
+		cop(Put, p0(1), 3*ms, 5*ms), cop(Take, p0(1), 4*ms, 5*ms),
+	}
+	if errs := FIFOErrors(history, producerHigh24); len(errs) != 0 {
+		t.Fatalf("untaken values carry no ordering obligation, got %v", errs)
+	}
+}

@@ -126,53 +126,13 @@ func (r *Result) errf(format string, args ...any) {
 // structure may still hold them (not possible for a synchronous queue, so
 // drained should almost always be true).
 func Check(history []Op, drained bool) Result {
-	var res Result
-	puts := make(map[int64]Op)
-	takes := make(map[int64]Op)
-
-	for _, op := range history {
-		if !op.OK {
-			continue
-		}
-		if op.Respond < op.Invoke {
-			res.errf("operation responds before invocation: %+v", op)
-		}
-		switch op.Kind {
-		case Put:
-			if prev, dup := puts[op.Value]; dup {
-				res.errf("value %d put twice: %+v and %+v", op.Value, prev, op)
-				continue
-			}
-			puts[op.Value] = op
-		case Take:
-			if prev, dup := takes[op.Value]; dup {
-				res.errf("value %d taken twice: %+v and %+v", op.Value, prev, op)
-				continue
-			}
-			takes[op.Value] = op
-		}
+	c := CheckClassified(history, drained)
+	res := Result{Transfers: c.Transfers}
+	for _, e := range c.Conservation {
+		res.errf("%s", e)
 	}
-
-	for v, t := range takes {
-		p, ok := puts[v]
-		if !ok {
-			res.errf("value %d taken but never put", v)
-			continue
-		}
-		// Synchrony: intervals must overlap.
-		if p.Respond < t.Invoke || t.Respond < p.Invoke {
-			res.errf("non-overlapping transfer of %d: put [%v,%v] take [%v,%v]",
-				v, p.Invoke, p.Respond, t.Invoke, t.Respond)
-			continue
-		}
-		res.Transfers++
-	}
-	if drained {
-		for v := range puts {
-			if _, ok := takes[v]; !ok {
-				res.errf("value %d put (successfully) but never taken", v)
-			}
-		}
+	for _, e := range c.Synchrony {
+		res.errf("%s", e)
 	}
 	return res
 }
