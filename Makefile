@@ -1,8 +1,8 @@
 # Tier-1 gate: everything `make check` runs must pass before a change
 # lands. CI and the pre-merge driver run exactly this target.
-.PHONY: check vet build test race bench-overhead bench-smoke bench-scaling bench-latency stress soak soak-short
+.PHONY: check vet build test race bench-overhead bench-smoke bench-scaling bench-latency bench-executor stress soak soak-short
 
-check: vet build test race bench-smoke bench-scaling bench-latency soak-short
+check: vet build test race bench-smoke bench-scaling bench-latency bench-executor soak-short
 
 vet:
 	go vet ./...
@@ -45,6 +45,15 @@ bench-scaling:
 # BENCH_latency.json is regenerated with `sqbench -figure latency -json`.
 bench-latency:
 	go run ./cmd/sqbench -figure latency -transfers 20000 -repeats 7 -quiet -gate
+
+# Executor-tier gate: the bursty RPC-frontend macro-benchmark (steady leg,
+# overload burst, graceful drain) over both production shapes. The -gate
+# check is host-independent — the conservation ledger must balance exactly,
+# both legs must complete work, the burst must actually shed or reject, and
+# no worker may outlive the drain. The committed BENCH_executor.json is
+# regenerated with `sqbench -figure executor -json`.
+bench-executor:
+	go run ./cmd/sqbench -figure executor -transfers 4000 -quiet -gate
 
 # Quick instrumented stress pass across every timed algorithm.
 stress:

@@ -40,7 +40,7 @@ func simTransfers(o bench.SweepOpts) int64 {
 
 func main() {
 	var (
-		figure    = flag.String("figure", "all", `figure to regenerate: "3", "4", "5", "6", "all", an ablation ("spin", "clean", "elim", "procsweep", "ablations"), "scaling" (the producer×consumer scaling sweep), "latency" (the latency-histogram overhead benchmark), or "sim3" (Figure 3 on the simulated multiprocessor)`)
+		figure    = flag.String("figure", "all", `figure to regenerate: "3", "4", "5", "6", "all", an ablation ("spin", "clean", "elim", "procsweep", "ablations"), "scaling" (the producer×consumer scaling sweep), "latency" (the latency-histogram overhead benchmark), "executor" (the bursty RPC-frontend executor macro-benchmark), or "sim3" (Figure 3 on the simulated multiprocessor)`)
 		transfers = flag.Int64("transfers", 20000, "transfers (or tasks) per measurement cell")
 		levels    = flag.String("levels", "", "comma-separated sweep levels overriding the paper's defaults")
 		repeats   = flag.Int("repeats", 3, "measurements per cell (minimum is reported)")
@@ -69,7 +69,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sqbench: GOMAXPROCS=%d (NumCPU=%d)\n", p, runtime.NumCPU())
 	}
 
-	if *jsonF && *figure != "scaling" && *figure != "latency" {
+	if *jsonF && *figure != "scaling" && *figure != "latency" && *figure != "executor" {
 		report := bench.HandoffAllocs(*transfers)
 		out, err := report.JSON()
 		if err != nil {
@@ -128,6 +128,36 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "sqbench: scaling gate passed (%.2fx at %d pairs)\n",
 				report.Summary.Speedup, report.Summary.MaxPairs)
+		}
+		return
+	}
+
+	if *figure == "executor" {
+		t, report := bench.Executor(opts)
+		if *jsonF {
+			out, err := report.JSON()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sqbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%s\n", out)
+		} else if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Print(t.Render())
+			for _, run := range report.Runs {
+				fmt.Printf("\n%s: burst shed %d, rejected %d; drain %.1fms (forced=%v, returned %d); queue-wait p99 %dns\n",
+					run.Series, run.Burst.Shed, run.Burst.Rejected,
+					float64(run.DrainNs)/1e6, run.DrainForced, run.Returned, run.QueueWaitP99Ns)
+			}
+		}
+		if *gate {
+			if err := report.Gate(); err != nil {
+				fmt.Fprintf(os.Stderr, "sqbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "sqbench: executor gate passed (%d runs, ledgers exact, overload bit)\n",
+				len(report.Runs))
 		}
 		return
 	}

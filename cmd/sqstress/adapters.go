@@ -12,6 +12,8 @@ package main
 // table entry, not a new test body.
 
 import (
+	"context"
+	"errors"
 	"sync/atomic"
 	"time"
 
@@ -43,7 +45,7 @@ type quiescer interface {
 // coreDef describes one structure under test.
 type coreDef struct {
 	// key is the stable config name used in -cores and the verdict table.
-	key  string
+	key string
 	// desc is the human-readable structure name.
 	desc string
 	// fifo: per-producer FIFO delivery is part of the contract (plain
@@ -55,6 +57,10 @@ type coreDef struct {
 	syncPair bool
 	// cancelable: the structure supports per-operation cancel channels.
 	cancelable bool
+	// executor: the structure is the executor tier; it carries the
+	// executor-ledger property, the drain/overload scenarios apply, and
+	// submissions propagate context deadlines and cancellation.
+	executor bool
 	// buffered is the structure's legal buffering capacity (0 for the
 	// synchronous cores); it widens the continuous conservation slack.
 	buffered int64
@@ -192,48 +198,110 @@ func (a elimChaos) Closed() bool { return a.q.Closed() }
 // ---- executor pool --------------------------------------------------------
 
 // poolChaos brings the executor tier under the harness invariants: an
-// offer is a Submit of a task that delivers its value into a results
-// channel, a poll is a receive from that channel. Conservation then states
-// "every accepted task runs exactly once"; synchrony does not apply
-// (execution is asynchronous), and the backing synchronous queue runs
-// under the same fault injector as the bare cores.
+// offer is a SubmitContext of a task that delivers its value into a
+// results channel, a poll is a receive from that channel. Conservation
+// then states "every accepted task runs exactly once"; synchrony does not
+// apply (execution is asynchronous), and the backing synchronous queue —
+// which the pool drives through its cancelable WaitQueue paths — runs
+// under the same fault injector as the bare cores. Harness tasks carry no
+// deadline (their values must always deliver, so offered == delivered
+// stays exact); the deadline-shed path is driven instead by the overload
+// scenario's chaff storm, whose valueless tasks are built to expire
+// between admission and dispatch.
 type poolChaos struct {
 	p       *pool.Pool
 	q       *core.DualQueue[pool.Task]
 	results chan int64
 	closed  atomic.Bool
+	chaff   atomic.Int64 // executions of overload chaff (body only)
 }
 
-// poolResultsCap bounds the in-flight executed-but-unconsumed values; it
-// is also the pool config's legal buffering for the conservation slack.
+// poolResultsCap bounds the in-flight executed-but-unconsumed values.
 const poolResultsCap = 1 << 14
 
-// poolQueue adapts the injected dual queue to the pool.Queue surface.
+// poolMaxWorkers / poolMaxPending are the executor's worker cap and
+// admission budget. An accepted-but-undelivered value can legally sit in
+// the pending ledger (≤ poolMaxPending), in an active worker's hands —
+// including blocked on a full results channel (≤ poolMaxWorkers) — or in
+// the results buffer itself, so the conservation slack declared to the
+// harness is the sum of all three capacities.
+const (
+	poolMaxWorkers = 32
+	poolMaxPending = 256
+	poolBuffered   = poolResultsCap + poolMaxPending + poolMaxWorkers
+)
+
+// poolPatience bounds how long a saturated submission blocks for a worker
+// (the BlockWithDeadline backpressure bound). It must be far below the
+// harness's stranded-waiter bound: admission never blocks indefinitely.
+const poolPatience = 500 * time.Microsecond
+
+// poolQueue adapts the injected dual queue to the pool.WaitQueue surface,
+// so the executor's blocking offers and idle polls run the queue's
+// deadline-and-cancel paths under fault injection. It also implements
+// pool.Closer: a forced drain closes the queue to release the blocked.
 type poolQueue struct{ q *core.DualQueue[pool.Task] }
 
 func (pq poolQueue) Offer(t pool.Task) bool                        { return pq.q.Offer(t) }
 func (pq poolQueue) PollTimeout(d time.Duration) (pool.Task, bool) { return pq.q.PollTimeout(d) }
+func (pq poolQueue) Close()                                        { pq.q.Close() }
+
+func (pq poolQueue) OfferWait(t pool.Task, deadline time.Time, cancel <-chan struct{}) bool {
+	return pq.q.PutDeadline(t, deadline, cancel) == core.OK
+}
+
+func (pq poolQueue) PollWait(deadline time.Time, cancel <-chan struct{}) (pool.Task, bool) {
+	v, st := pq.q.TakeDeadline(deadline, cancel)
+	return v, st == core.OK
+}
 
 func newPoolChaos(cfg core.WaitConfig) *poolChaos {
 	q := core.NewDualQueue[pool.Task](cfg)
 	a := &poolChaos{q: q, results: make(chan int64, poolResultsCap)}
 	a.p = pool.New(poolQueue{q}, pool.Config{
 		// A short keep-alive makes idle workers expire constantly, so
-		// the backing queue's timeout and clean paths run under chaos.
-		KeepAlive:  2 * time.Millisecond,
-		MaxWorkers: 32,
+		// the backing queue's timeout, cancel, and clean paths — and the
+		// pool's retirement CAS — run under chaos.
+		KeepAlive:          2 * time.Millisecond,
+		MaxWorkers:         poolMaxWorkers,
+		MaxPending:         poolMaxPending,
+		OnSaturation:       pool.BlockWithDeadline,
+		SaturationPatience: poolPatience,
+		Metrics:            cfg.Metrics,
+		Fault:              cfg.Fault,
 	})
 	return a
 }
 
+// LedgerGap exposes the executor conservation ledger for the
+// executor-ledger always-property: at rest it must be exactly zero.
+func (a *poolChaos) LedgerGap() int64 { return a.p.Stats().ConservationGap() }
+
 func (a *poolChaos) ChaosOffer(v int64, d time.Duration, cancel <-chan struct{}) core.Status {
-	err := a.p.Submit(func() { a.results <- v })
-	switch err {
-	case nil:
+	ctx := context.Background()
+	if cancel != nil {
+		var cfn context.CancelFunc
+		ctx, cfn = context.WithCancel(ctx)
+		stop := make(chan struct{})
+		defer close(stop)
+		defer cfn()
+		go func() {
+			select {
+			case <-cancel:
+				cfn()
+			case <-stop:
+			}
+		}()
+	}
+	err := a.p.SubmitContext(ctx, func() { a.results <- v })
+	switch {
+	case err == nil:
 		return core.OK
-	case pool.ErrShutdown:
+	case errors.Is(err, pool.ErrShutdown), errors.Is(err, pool.ErrDraining):
 		return core.Closed
-	default: // ErrSaturated: the pool is at MaxWorkers with no idle worker
+	case errors.Is(err, context.Canceled):
+		return core.Canceled
+	default: // ErrSaturated / ErrExpired: no worker within the patience
 		return core.Timeout
 	}
 }
@@ -259,8 +327,64 @@ func (a *poolChaos) ChaosPoll(d time.Duration, cancel <-chan struct{}) (int64, c
 	select {
 	case v := <-a.results:
 		return v, core.OK
+	case <-cancel:
+		// A delivery that landed while the cancel fired still pairs: the
+		// fulfill won the race (the cores' cancel-races-fulfill shape).
+		select {
+		case v := <-a.results:
+			return v, core.OK
+		default:
+			return 0, core.Canceled
+		}
 	case <-t.C:
 		return 0, core.Timeout
+	}
+}
+
+// ChaffStorm floods the executor with valueless tasks whose deadlines are
+// long enough to pass the admission check but short enough to usually
+// lapse before a worker dispatches them — the deadline-shed path under
+// live traffic. Chaff that wins its race and executes only bumps an
+// internal counter, so the harness ledger is untouched either way.
+func (a *poolChaos) ChaffStorm(n int) {
+	for i := 0; i < n; i++ {
+		fuse := time.Duration(1+i%25) * time.Microsecond
+		ctx, cancel := context.WithTimeout(context.Background(), fuse)
+		a.p.SubmitContext(ctx, func() { a.chaff.Add(1) })
+		cancel()
+	}
+}
+
+// DrainStorm performs the production shutdown mid-traffic: a bounded
+// graceful drain with two workers deliberately wedged past the bound so
+// phase 3 (forced reclaim) must run. Reclaimed tasks belong to the caller
+// and are re-run here, so every accepted value still delivers exactly
+// once. Reports whether the drain was forced.
+func (a *poolChaos) DrainStorm() (forced bool) {
+	release := make(chan struct{})
+	time.AfterFunc(20*time.Millisecond, func() { close(release) })
+	for i := 0; i < 2; i++ {
+		a.submitWedge(release)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	res := a.p.Drain(ctx)
+	for _, t := range res.Returned {
+		t()
+	}
+	a.closed.Store(true)
+	return res.Forced
+}
+
+// submitWedge lands one blocking task, retrying through transient
+// saturation.
+func (a *poolChaos) submitWedge(release <-chan struct{}) {
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		if a.p.Submit(func() { <-release }) == nil {
+			return
+		}
+		time.Sleep(100 * time.Microsecond)
 	}
 }
 
@@ -343,8 +467,12 @@ var coreDefs = []coreDef{
 	},
 	{
 		key: "pool", desc: "executor pool over fair queue",
-		buffered: poolResultsCap,
-		classes:  []fault.Class{fault.ClassQueue, fault.ClassWait},
+		cancelable: true, executor: true,
+		buffered: poolBuffered,
+		classes:  []fault.Class{fault.ClassQueue, fault.ClassWait, fault.ClassPool},
+		sometimesCounters: map[metrics.ID]string{
+			metrics.TasksShed: "shed-under-overload",
+		},
 		build: func(cfg core.WaitConfig) chaosStruct {
 			return newPoolChaos(cfg)
 		},

@@ -113,6 +113,29 @@ func registerProperties(rc *runCtx) {
 	// Violations of no-stranded-waiter are detected by the scenario
 	// driver's bounded waits, which Fail the property directly.
 	rc.suite.Always(propNoStranded, nil)
+	if rc.core.executor {
+		// The executor's conservation ledger: at every quiesced rest
+		// point, accepted == completed + shed + returned (+ nothing in
+		// flight). Checked from the structure's own counters, so it
+		// holds even for tasks the harness history cannot see (chaff,
+		// wedges, drain reclaim).
+		rc.suite.Always(propExecLedger, func(final bool) error {
+			s := st()
+			if s == nil || !final || !s.finalized.Load() {
+				return nil
+			}
+			l, ok := s.adapter.(interface{ LedgerGap() int64 })
+			if !ok {
+				return nil
+			}
+			if gap := l.LedgerGap(); gap != 0 {
+				return fmt.Errorf("%s: executor ledger gap %d (accepted != completed+shed+returned+pending+active)",
+					s.name, gap)
+			}
+			return nil
+		})
+		rc.suite.Sometimes(propDrainForce)
+	}
 
 	rc.suite.Sometimes(propTimeout)
 	rc.suite.Sometimes(propCloseReject)
@@ -218,6 +241,9 @@ func runChaosMatrix(o chaosOptions) (*props.Report, bool) {
 
 			for _, sc := range scenarios {
 				if sc.needsCancel && !c.cancelable {
+					continue
+				}
+				if sc.execOnly && !c.executor {
 					continue
 				}
 				fmt.Fprintf(o.out, "chaos %-20s %s\n", label, sc.name)

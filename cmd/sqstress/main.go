@@ -10,7 +10,9 @@
 // queue, sharded fabric, eliminating composition, executor pool; default
 // and no-spin wait configs) is driven through a scenario library — bursty
 // open/close cycles, skew flips, cancel storms, goroutine churn,
-// slow-consumer backpressure, GOMAXPROCS shifts — under the deterministic
+// slow-consumer backpressure, GOMAXPROCS shifts, plus two executor-only
+// scenarios (admission overload with deadline shedding, graceful
+// drain-storm with forced reclaim) — under the deterministic
 // fault injector (internal/fault), against named Always / Sometimes /
 // Reachable properties. The run emits a verdict table (text, plus JSON via
 // -json); any failing row makes the exit status nonzero and prints a

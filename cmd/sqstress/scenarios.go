@@ -33,6 +33,8 @@ const (
 	propTimeout      = "timeout-expires"
 	propCloseReject  = "close-rejects-op"
 	propCancelRace   = "cancel-races-fulfill"
+	propExecLedger   = "executor-ledger"
+	propDrainForce   = "drain-reaches-force"
 )
 
 // Workload bounds: how long the engine waits for workers to return after
@@ -49,7 +51,11 @@ type scenarioDef struct {
 	desc string
 	// needsCancel marks scenarios meaningless without cancel support.
 	needsCancel bool
-	run         func(rc *runCtx, dur time.Duration)
+	// execOnly marks scenarios that drive the executor tier's own
+	// machinery (deadline shedding, graceful drain); they run only
+	// against executor cores.
+	execOnly bool
+	run      func(rc *runCtx, dur time.Duration)
 }
 
 // scenarioLib is the library, in run order.
@@ -141,6 +147,18 @@ var scenarioLib = []scenarioDef{
 			runtime.GOMAXPROCS(wide)
 		},
 	},
+	{
+		name:     "overload",
+		desc:     "admission overload: µs-deadline chaff sheds at dispatch while real traffic flows",
+		execOnly: true,
+		run:      runOverload,
+	},
+	{
+		name:     "drain-storm",
+		desc:     "graceful drain mid-traffic: quiesce, bounded wait, forced reclaim, caller re-runs the returned",
+		execOnly: true,
+		run:      runDrainStorm,
+	},
 }
 
 func scenarioByName(name string) (scenarioDef, bool) {
@@ -187,6 +205,9 @@ type scenarioState struct {
 	workers int64 // peak concurrent workload goroutines (for slack)
 	slackHi int64 // legal offered-delivered gap mid-run
 	rec     *verify.Recorder
+	// adapter is the structure instance under test, for properties that
+	// read structure-side ledgers (the executor-ledger check).
+	adapter chaosStruct
 
 	offered   atomic.Int64
 	delivered atomic.Int64
@@ -324,6 +345,7 @@ func (rc *runCtx) driveWorkload(name string, adapter chaosStruct, dur time.Durat
 	}
 	producers, consumers := rc.producers*boost, rc.consumers*boost
 	st := newScenarioState(rc, name, producers+consumers)
+	st.adapter = adapter
 	rc.state.Store(st)
 	defer rc.state.Store(nil)
 
@@ -571,6 +593,44 @@ func waitBounded(wg *sync.WaitGroup, d time.Duration) bool {
 	case <-t.C:
 		return false
 	}
+}
+
+// runOverload drives the standard workload while a chaff storm floods the
+// executor with tasks whose deadlines lapse between admission and
+// dispatch: the shed path, the admission budget, and the bounded
+// backpressure all run under live traffic. The chaff stops at three
+// quarters of the run so the tail and the quiesce see a normal load.
+func runOverload(rc *runCtx, dur time.Duration) {
+	adapter := rc.build()
+	ex := adapter.(*poolChaos) // overload is execOnly: always the pool
+	chaffUntil := time.Now().Add(dur * 3 / 4)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for time.Now().Before(chaffUntil) {
+			ex.ChaffStorm(64)
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	rc.driveWorkload("overload", adapter, dur, workloadTuning{}, nil)
+	wg.Wait()
+}
+
+// runDrainStorm closes the executor the production way: a bounded
+// graceful drain fires mid-traffic with deliberately wedged workers, so
+// the forced-reclaim phase runs; reclaimed tasks are re-run caller-side,
+// keeping every accepted value delivered exactly once. Late submitters
+// must see the quiesce (ErrDraining/ErrShutdown → Closed), and the pool
+// must come to rest leak-free with an exact ledger.
+func runDrainStorm(rc *runCtx, dur time.Duration) {
+	adapter := rc.build()
+	ex := adapter.(*poolChaos) // drain-storm is execOnly: always the pool
+	rc.driveWorkload("drain-storm", adapter, dur, workloadTuning{}, func() {
+		if ex.DrainStorm() {
+			rc.suite.Observe(propDrainForce)
+		}
+	})
 }
 
 // runBurstOpenClose is the open/close-cycle scenario: several short

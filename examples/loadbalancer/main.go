@@ -9,18 +9,25 @@
 // timed TryTransfer doubles as an instant "are all workers busy?" probe
 // that triggers shedding).
 //
+// The second half upgrades the front-end to the executor tier: a bounded
+// pool with a ShedOldest admission budget absorbs an overload burst by
+// evicting the stalest requests, and a deadline-bounded graceful drain
+// returns the unserved backlog to the dispatcher instead of losing it.
+//
 // Run with:
 //
 //	go run ./examples/loadbalancer
 package main
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"synchq"
+	"synchq/pool"
 )
 
 // Message is either an asynchronous event or a synchronous request
@@ -91,4 +98,50 @@ func main() {
 	wg.Wait()
 	fmt.Printf("handled=%d shed=%d buffered-left=%v\n",
 		handled.Load(), shed.Load(), q.HasBufferedData())
+
+	// Executor front-end: the same shedding idea, expressed as admission
+	// policy instead of hand-coded probes. Two workers, an admission
+	// budget of four, newest-wins eviction under overload.
+	frontend := pool.New(pool.NewBuffered(), pool.Config{
+		CoreWorkers:  2,
+		MaxWorkers:   2,
+		MaxPending:   4,
+		OnSaturation: pool.ShedOldest,
+		KeepAlive:    time.Second,
+	})
+
+	// Wedge both workers so an arrival burst lands entirely in the
+	// admission budget.
+	release := make(chan struct{})
+	for i := 0; i < 2; i++ {
+		if err := frontend.Submit(func() { <-release }); err != nil {
+			panic(err)
+		}
+	}
+	for frontend.Stats().Active < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	var served atomic.Int64
+	for i := 200; i < 208; i++ {
+		if err := frontend.Submit(func() { served.Add(1) }); err != nil {
+			panic(err)
+		}
+	}
+	st := frontend.Stats()
+	fmt.Printf("burst of 8: pending=%d shed-oldest=%d\n", st.Pending, st.Shed)
+
+	// Graceful drain with a tight deadline: the wedged workers outlast
+	// it, so the drain forces and hands the unserved requests back. The
+	// dispatcher re-runs them — nothing is lost, and the conservation
+	// ledger balances exactly.
+	go func() { time.Sleep(50 * time.Millisecond); close(release) }()
+	dctx, dcancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	res := frontend.Drain(dctx)
+	dcancel()
+	for _, task := range res.Returned {
+		task() // requeue or serve dispatcher-side
+	}
+	st = frontend.Stats()
+	fmt.Printf("drain: returned=%d served-total=%d ledger-gap=%d\n",
+		len(res.Returned), served.Load(), st.ConservationGap())
 }

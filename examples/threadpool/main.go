@@ -9,12 +9,18 @@
 // The example prints the pool's vital signs after each phase so the
 // grow/handoff/shrink lifecycle is visible.
 //
+// The later phases exercise the executor tier layered on the hand-off
+// core: deadline-aware admission with SubmitContext, and a multi-phase
+// graceful drain whose conservation ledger balances exactly — every
+// accepted task either ran or was deliberately shed, none lost.
+//
 // Run with:
 //
 //	go run ./examples/threadpool
 package main
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -81,7 +87,24 @@ func main() {
 		fmt.Println("future result:", v)
 	}
 
-	p.Shutdown()
-	p.Wait()
-	report("after shutdown:")
+	// Phase 4: deadline-aware admission. A submission whose context is
+	// already done is refused at the door with the context's own error;
+	// a live deadline would instead travel with the task, shedding it
+	// before dispatch if it expired while queued.
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	err = p.SubmitContext(ctx, func() { fmt.Println("never runs") })
+	cancel()
+	fmt.Println("expired submission refused:", err)
+
+	// Phase 5: graceful drain instead of an abrupt shutdown. Admission
+	// quiesces, the workers finish the accepted backlog within the
+	// context's bound, and the conservation ledger settles exactly:
+	// Accepted == Completed + Shed + Returned.
+	dctx, dcancel := context.WithTimeout(context.Background(), time.Second)
+	res := p.Drain(dctx)
+	dcancel()
+	st := p.Stats()
+	fmt.Printf("drained=%v forced=%v returned=%d ledger-gap=%d\n",
+		res.Drained, res.Forced, len(res.Returned), st.ConservationGap())
+	report("after drain:")
 }

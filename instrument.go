@@ -53,6 +53,13 @@ func (m *Metrics) handle() *metrics.Handle {
 	return m.root
 }
 
+// RawHandle returns the root recording handle — the internal counter set a
+// Metrics wraps. It exists so sibling tiers built on this module (the pool
+// executor, custom fabrics) can record into the same handle a queue was
+// instrumented with; the returned value is opaque outside this module and
+// nil on a nil Metrics.
+func (m *Metrics) RawHandle() *metrics.Handle { return m.handle() }
+
 // shardHandle returns (creating as needed) the child handle for shard i,
 // so a sharded queue's per-shard behavior stays separately visible while
 // Stats presents the merged view.

@@ -99,31 +99,49 @@ const (
 	// TimerSkew perturbs the duration handed to a timed park, modeling
 	// coarse or drifting timers.
 	TimerSkew
+	// PoolSpawnRacePause preempts an executor's Submit between passing
+	// the shutdown check and committing a freshly spawned worker — the
+	// window in which Shutdown's poison-pill sweep can run to completion
+	// before the new worker is countable, so only the post-spawn re-check
+	// can stop it from parking a full keep-alive.
+	PoolSpawnRacePause
+	// PoolAdmitPause preempts an executor's Submit between admission
+	// (budget reservation, deadline check) and the hand-off offer,
+	// widening the window in which a drain or shutdown overtakes an
+	// accepted-but-not-yet-queued task.
+	PoolAdmitPause
+	// PoolRetireCAS is an executor worker's keep-alive retirement CAS: an
+	// injected failure makes the idle worker treat its decrement as a
+	// lost race and re-poll, exercising the CoreWorkers floor re-check.
+	PoolRetireCAS
 
 	// NumSites is the number of injection sites.
 	NumSites
 )
 
 var siteNames = [NumSites]string{
-	QEnqueueCAS:     "q-enqueue-cas",
-	QFulfillCAS:     "q-fulfill-cas",
-	QCleanCAS:       "q-clean-cas",
-	QEnqueuePause:   "q-enqueue-pause",
-	QFulfillPause:   "q-fulfill-pause",
-	SPushCAS:        "s-push-cas",
-	SFulfillCAS:     "s-fulfill-cas",
-	SCleanCAS:       "s-clean-cas",
-	SFulfillPause:   "s-fulfill-pause",
-	SHelpPause:      "s-help-pause",
-	XSlotCAS:        "x-slot-cas",
-	XFulfillCAS:     "x-fulfill-cas",
-	XFulfillPause:   "x-fulfill-pause",
-	QCloseRacePause: "q-close-race-pause",
-	SCloseRacePause: "s-close-race-pause",
-	XArenaPause:     "x-arena-pause",
-	ShardStealCAS:   "shard-steal-cas",
-	ParkSpurious:    "park-spurious",
-	TimerSkew:       "timer-skew",
+	QEnqueueCAS:        "q-enqueue-cas",
+	QFulfillCAS:        "q-fulfill-cas",
+	QCleanCAS:          "q-clean-cas",
+	QEnqueuePause:      "q-enqueue-pause",
+	QFulfillPause:      "q-fulfill-pause",
+	SPushCAS:           "s-push-cas",
+	SFulfillCAS:        "s-fulfill-cas",
+	SCleanCAS:          "s-clean-cas",
+	SFulfillPause:      "s-fulfill-pause",
+	SHelpPause:         "s-help-pause",
+	XSlotCAS:           "x-slot-cas",
+	XFulfillCAS:        "x-fulfill-cas",
+	XFulfillPause:      "x-fulfill-pause",
+	QCloseRacePause:    "q-close-race-pause",
+	SCloseRacePause:    "s-close-race-pause",
+	XArenaPause:        "x-arena-pause",
+	ShardStealCAS:      "shard-steal-cas",
+	ParkSpurious:       "park-spurious",
+	TimerSkew:          "timer-skew",
+	PoolSpawnRacePause: "pool-spawn-race-pause",
+	PoolAdmitPause:     "pool-admit-pause",
+	PoolRetireCAS:      "pool-retire-cas",
 }
 
 // String returns the site's stable name.

@@ -27,6 +27,9 @@ const (
 	// ClassWait sites are queried by the shared waiting machinery
 	// (parker and timers) under every structure.
 	ClassWait
+	// ClassPool sites are queried by the executor tier (pool admission,
+	// spawn, and retirement paths) above whatever structure backs it.
+	ClassPool
 )
 
 // String returns the class's stable name.
@@ -42,6 +45,8 @@ func (c Class) String() string {
 		return "shard"
 	case ClassWait:
 		return "wait"
+	case ClassPool:
+		return "pool"
 	default:
 		return "invalid"
 	}
@@ -49,25 +54,28 @@ func (c Class) String() string {
 
 // siteClasses maps each site to the structure class that queries it.
 var siteClasses = [NumSites]Class{
-	QEnqueueCAS:     ClassQueue,
-	QFulfillCAS:     ClassQueue,
-	QCleanCAS:       ClassQueue,
-	QEnqueuePause:   ClassQueue,
-	QFulfillPause:   ClassQueue,
-	SPushCAS:        ClassStack,
-	SFulfillCAS:     ClassStack,
-	SCleanCAS:       ClassStack,
-	SFulfillPause:   ClassStack,
-	SHelpPause:      ClassStack,
-	XSlotCAS:        ClassExchanger,
-	XFulfillCAS:     ClassExchanger,
-	XFulfillPause:   ClassExchanger,
-	QCloseRacePause: ClassQueue,
-	SCloseRacePause: ClassStack,
-	XArenaPause:     ClassExchanger,
-	ShardStealCAS:   ClassShard,
-	ParkSpurious:    ClassWait,
-	TimerSkew:       ClassWait,
+	QEnqueueCAS:        ClassQueue,
+	QFulfillCAS:        ClassQueue,
+	QCleanCAS:          ClassQueue,
+	QEnqueuePause:      ClassQueue,
+	QFulfillPause:      ClassQueue,
+	SPushCAS:           ClassStack,
+	SFulfillCAS:        ClassStack,
+	SCleanCAS:          ClassStack,
+	SFulfillPause:      ClassStack,
+	SHelpPause:         ClassStack,
+	XSlotCAS:           ClassExchanger,
+	XFulfillCAS:        ClassExchanger,
+	XFulfillPause:      ClassExchanger,
+	QCloseRacePause:    ClassQueue,
+	SCloseRacePause:    ClassStack,
+	XArenaPause:        ClassExchanger,
+	ShardStealCAS:      ClassShard,
+	ParkSpurious:       ClassWait,
+	TimerSkew:          ClassWait,
+	PoolSpawnRacePause: ClassPool,
+	PoolAdmitPause:     ClassPool,
+	PoolRetireCAS:      ClassPool,
 }
 
 // Class returns the structure class that queries s.

@@ -64,19 +64,36 @@ const (
 	// hand-off. FallbackNs − HandoffNs at matching percentiles is the
 	// price of a failed elimination probe.
 	FallbackNs
+	// QueueWaitNs is an executor task's time-in-queue: from acceptance at
+	// Submit to the moment a worker dequeues it for execution. The
+	// executor-tier analogue of HandoffNs, recorded on the pool's handle
+	// so the dispatch delay and the structure's own hand-off latency stay
+	// separately visible.
+	QueueWaitNs
+	// ExecNs is an executor task's execution time: from dequeue to the
+	// task function's return (panicking tasks record up to the recover).
+	ExecNs
+	// DrainNs is the duration of executor drain phases: one sample per
+	// phase reached (quiesce, drain-pending, force), so the count exposes
+	// how far the drain state machine ran and the buckets how long each
+	// phase took.
+	DrainNs
 
 	// NumHistIDs is the number of histograms in a Handle.
 	NumHistIDs
 )
 
 var histNames = [NumHistIDs]string{
-	HandoffNs:  "handoff",
-	SpinNs:     "spin",
-	ParkNs:     "park",
-	WastedNs:   "wasted",
-	StealNs:    "steal",
-	ElimNs:     "elim",
-	FallbackNs: "fallback",
+	HandoffNs:   "handoff",
+	SpinNs:      "spin",
+	ParkNs:      "park",
+	WastedNs:    "wasted",
+	StealNs:     "steal",
+	ElimNs:      "elim",
+	FallbackNs:  "fallback",
+	QueueWaitNs: "queue-wait",
+	ExecNs:      "exec",
+	DrainNs:     "drain",
 }
 
 // String returns the histogram's stable name (used as expvar keys and JSON

@@ -104,6 +104,24 @@ const (
 	// other than the operation's home shard — the work-stealing rescue
 	// that keeps waiters from stranding on an idle shard.
 	ShardSteals
+	// TasksShed counts executor tasks dropped by an explicit shedding
+	// decision — an expired deadline detected before dispatch, or a
+	// ShedOldest eviction that made room for a newer submission. Shed
+	// tasks never run; they are the executor's graceful-degradation arm.
+	TasksShed
+	// TasksRejected counts executor submissions refused at admission
+	// (saturation under the Reject policy, admission-budget exhaustion,
+	// or a blocking offer that timed out / was canceled before landing).
+	// Rejected tasks were never accepted, so they sit outside the
+	// conservation ledger.
+	TasksRejected
+	// TasksReturned counts accepted-but-unrun tasks handed back to the
+	// caller by a forced Drain — the conservation ledger's third column
+	// (accepted == executed + shed + returned).
+	TasksReturned
+	// CrashLoops counts crash-loop detections in an executor's workers:
+	// a panic burst dense enough that the pool engaged spawn backoff.
+	CrashLoops
 
 	// NumIDs is the number of counters in a Handle.
 	NumIDs
@@ -130,6 +148,10 @@ var names = [NumIDs]string{
 	ElimMisses:     "elim-misses",
 	ArenaWidth:     "arena-width",
 	ShardSteals:    "shard-steals",
+	TasksShed:      "tasks-shed",
+	TasksRejected:  "tasks-rejected",
+	TasksReturned:  "tasks-returned",
+	CrashLoops:     "crash-loops",
 }
 
 // String returns the counter's stable snake-ish name (used as expvar map

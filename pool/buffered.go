@@ -17,7 +17,9 @@ type buffered struct {
 
 // NewBuffered returns an unbounded buffered task queue for use with New —
 // the work-queue configuration of a fixed pool, as opposed to the
-// synchronous hand-off of a cached pool.
+// synchronous hand-off of a cached pool. The returned queue implements
+// WaitQueue, so pools built on it get cancelable idle polls (prompt,
+// poison-free shutdown wake-ups).
 func NewBuffered() Queue {
 	return buffered{q: dual.NewQueue[Task]()}
 }
@@ -32,4 +34,44 @@ func (b buffered) Offer(t Task) bool {
 // to arrive.
 func (b buffered) PollTimeout(d time.Duration) (Task, bool) {
 	return b.q.DequeueTimeout(d)
+}
+
+// OfferWait deposits t; an unbounded buffer never makes producers wait,
+// so the deadline and cancel channel are irrelevant.
+func (b buffered) OfferWait(t Task, _ time.Time, _ <-chan struct{}) bool {
+	b.q.Enqueue(t)
+	return true
+}
+
+// pollSlice bounds how long PollWait commits to one uncancelable
+// DequeueTimeout leg; it is the worst-case latency for observing the
+// cancel channel while idle.
+const pollSlice = 5 * time.Millisecond
+
+// PollWait receives the oldest buffered task, waiting until the deadline
+// (zero = forever) or the cancel channel fires. The underlying dual queue
+// has no cancelable reservation, so the wait runs in short timed slices
+// with a cancellation check between them — the hand-off itself stays on
+// the queue's lock-free path; only idle waiting is sliced.
+func (b buffered) PollWait(deadline time.Time, cancel <-chan struct{}) (Task, bool) {
+	for {
+		select {
+		case <-cancel:
+			return nil, false
+		default:
+		}
+		d := pollSlice
+		if !deadline.IsZero() {
+			rem := time.Until(deadline)
+			if rem <= 0 {
+				return nil, false
+			}
+			if rem < d {
+				d = rem
+			}
+		}
+		if t, ok := b.q.DequeueTimeout(d); ok {
+			return t, true
+		}
+	}
 }

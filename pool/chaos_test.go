@@ -12,6 +12,7 @@ package pool
 // (that asymmetry is exactly why the classifier splits its verdicts).
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -103,6 +104,84 @@ func TestPoolChaosWorkerChurn(t *testing.T) {
 	c := verify.CheckClassified(history, true)
 	for _, e := range c.Conservation {
 		t.Error(e)
+	}
+}
+
+// chaosWaitQueue adapts the fault-injected dual queue to the pool's
+// WaitQueue surface, so blocking offers and cancelable idle polls run the
+// queue's deadline/cancel paths under injection (the production shape).
+type chaosWaitQueue struct{ q *core.DualQueue[Task] }
+
+func (cq chaosWaitQueue) Offer(t Task) bool                        { return cq.q.Offer(t) }
+func (cq chaosWaitQueue) PollTimeout(d time.Duration) (Task, bool) { return cq.q.PollTimeout(d) }
+func (cq chaosWaitQueue) Close()                                   { cq.q.Close() }
+func (cq chaosWaitQueue) OfferWait(t Task, deadline time.Time, cancel <-chan struct{}) bool {
+	return cq.q.PutDeadline(t, deadline, cancel) == core.OK
+}
+func (cq chaosWaitQueue) PollWait(deadline time.Time, cancel <-chan struct{}) (Task, bool) {
+	v, st := cq.q.TakeDeadline(deadline, cancel)
+	return v, st == core.OK
+}
+
+// TestPoolChaosFullLedger drives the complete conservation equation under
+// injection: a mixed storm (a quarter of the submissions carry µs-scale
+// deadlines that may shed at dispatch) is cut short by a tightly bounded
+// Drain, whose returned tasks the caller re-runs. At rest the ledger must
+// balance exactly — Accepted == Completed + Shed + Returned — and every
+// accepted task must have run exactly once (worker- or caller-side) or
+// been shed, never both, never neither.
+func TestPoolChaosFullLedger(t *testing.T) {
+	for _, seed := range []uint64{5, 11} {
+		inj := fault.Chaos(seed)
+		q := core.NewDualQueue[Task](core.WaitConfig{Metrics: metrics.New(), Fault: inj})
+		p := New(chaosWaitQueue{q}, Config{
+			KeepAlive:          time.Millisecond,
+			MaxWorkers:         8,
+			MaxPending:         64,
+			OnSaturation:       BlockWithDeadline,
+			SaturationPatience: 200 * time.Microsecond,
+		})
+
+		var ran atomic.Int64
+		var accepted atomic.Int64
+		var wg sync.WaitGroup
+		for s := 0; s < 8; s++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				for seq := 0; seq < 200; seq++ {
+					ctx := context.Background()
+					var cancel context.CancelFunc = func() {}
+					if seq%4 == 0 {
+						ctx, cancel = context.WithTimeout(ctx, time.Duration(10+seq%50)*time.Microsecond)
+					}
+					if p.SubmitContext(ctx, func() { ran.Add(1) }) == nil {
+						accepted.Add(1)
+					}
+					cancel()
+				}
+			}(s)
+		}
+		time.Sleep(2 * time.Millisecond)
+		ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+		res := p.Drain(ctx)
+		cancel()
+		wg.Wait()
+		for _, task := range res.Returned {
+			task()
+		}
+
+		st := p.Stats()
+		if gap := st.ConservationGap(); gap != 0 {
+			t.Fatalf("seed %d: ledger gap %d: %+v", seed, gap, st)
+		}
+		if acc := accepted.Load(); acc != st.Accepted {
+			t.Fatalf("seed %d: caller counted %d accepted, ledger says %d", seed, acc, st.Accepted)
+		}
+		if got, want := ran.Load(), st.Completed+st.Returned; got != want {
+			t.Fatalf("seed %d: %d executions, want completed+returned = %d (%+v)", seed, got, want, st)
+		}
+		q.Close()
 	}
 }
 

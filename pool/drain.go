@@ -1,0 +1,104 @@
+package pool
+
+import (
+	"context"
+	"time"
+
+	"synchq/internal/metrics"
+)
+
+// DrainResult reports how far a Drain got and what it reclaimed.
+type DrainResult struct {
+	// Drained is true when the accepted backlog executed fully before
+	// the context expired (phase 2 completed).
+	Drained bool
+	// Forced is true when the context expired and phase 3 reclaimed the
+	// remaining backlog.
+	Forced bool
+	// Returned holds the original task functions of accepted tasks that
+	// never ran, oldest first. The caller owns them: run them, log
+	// them, or requeue them elsewhere — they are counted as Returned in
+	// Stats either way, so conservation holds.
+	Returned []Task
+}
+
+// drainPollInterval paces phase 2's completion checks. Workers are
+// executing the backlog concurrently; the drain only observes counters.
+const drainPollInterval = 200 * time.Microsecond
+
+// Drain shuts the pool down gracefully in three phases:
+//
+//  1. Quiesce — admission stops: new submissions fail with ErrDraining
+//     while workers keep executing the accepted backlog.
+//  2. Drain pending — wait until every accepted task has been dispatched
+//     and finished, bounded by ctx.
+//  3. Force — if ctx expires first, every accepted-but-undispatched task
+//     is reclaimed and returned to the caller, and the backing queue is
+//     closed (when it supports Close) so blocked producers and idle
+//     workers wake immediately.
+//
+// In all cases Drain then performs Shutdown and waits for every worker
+// goroutine to exit before returning, so a returned Drain means no leaked
+// goroutines and a settled conservation ledger: Accepted == Completed +
+// Shed + Returned. Tasks already executing when the context expires are
+// not interrupted (Go cannot cancel them); Drain waits for them.
+//
+// A nil ctx waits indefinitely for phase 2. Drain is idempotent in
+// effect; concurrent callers race benignly, with reclaimed tasks split
+// between their results.
+func (p *Pool) Drain(ctx context.Context) DrainResult {
+	var res DrainResult
+
+	// Phase 1 — quiesce admission.
+	t0 := time.Now()
+	p.draining.Store(true)
+	p.h.Record(metrics.DrainNs, time.Since(t0))
+
+	// Phase 2 — let the workers drain the accepted backlog.
+	t1 := time.Now()
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	for {
+		if p.pendN.Load() == 0 && p.active.Load() == 0 {
+			res.Drained = true
+			break
+		}
+		if ctx != nil && ctx.Err() != nil {
+			break
+		}
+		// A buffered backlog with every worker expired has no one left
+		// to dispatch it; restart one worker to finish the job.
+		if p.workers.Load() == 0 {
+			p.trySpawn(nil, 1)
+		}
+		select {
+		case <-done:
+		case <-time.After(drainPollInterval):
+		}
+	}
+	p.h.Record(metrics.DrainNs, time.Since(t1))
+
+	// Phase 3 — force: reclaim what never dispatched, wake the blocked.
+	if !res.Drained {
+		t2 := time.Now()
+		res.Forced = true
+		res.Returned = p.reclaimPending()
+		if c, ok := p.q.(Closer); ok {
+			c.Close()
+		}
+		p.h.Record(metrics.DrainNs, time.Since(t2))
+	}
+
+	p.Shutdown()
+	p.wg.Wait()
+
+	// A submission that slipped past the quiesce flag can have linked
+	// its envelope while phase 2 was finishing; with the workers gone,
+	// reclaim such stragglers too so the ledger settles exactly.
+	if late := p.reclaimPending(); len(late) > 0 {
+		res.Returned = append(res.Returned, late...)
+	}
+	return res
+}
