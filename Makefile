@@ -1,11 +1,19 @@
 # Tier-1 gate: everything `make check` runs must pass before a change
 # lands. CI and the pre-merge driver run exactly this target.
-.PHONY: check vet build test race bench-overhead bench-smoke bench-scaling bench-latency bench-executor stress soak soak-short
+.PHONY: check lint vet fmt build test race bench-overhead bench-smoke bench-all bench-scaling bench-latency bench-executor stress soak soak-short
 
-check: vet build test race bench-smoke bench-scaling bench-latency bench-executor soak-short
+check: lint build test race bench-smoke bench-scaling bench-latency bench-executor soak-short
+
+# Static tier: vet plus a gofmt cleanliness check (gofmt -l prints the
+# offending files; grep inverts that into a pass/fail).
+lint: vet fmt
 
 vet:
 	go vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt: files need formatting:"; echo "$$out"; exit 1; fi
 
 build:
 	go build ./...
@@ -30,13 +38,23 @@ bench-smoke:
 	go test -run TestHandoffAllocBudget -count 1 ./internal/core/
 	go test -run - -bench BenchmarkHandoffAllocs -benchtime 100x -benchmem ./internal/core/
 
-# Scaling smoke gate: a short producer×consumer sweep of the sharded,
-# elimination-fronted fair queue against the plain one. The -gate check is
-# coarse (no-regression, with a bounded-overhead fallback on single-CPU
-# hosts — sharding has nothing to win there); the committed
-# BENCH_scaling.json is regenerated with the longer settings in its header.
+# Scaling smoke gate: a short producer×consumer sweep reduced (via -cores)
+# to the three headline series — plain fair queue, sharded+adaptive fair
+# queue, segmented core — so CI gates quickly. The -gate check is coarse
+# (no-regression, with a bounded-overhead fallback on single-CPU hosts —
+# sharding has nothing to win there); the committed BENCH_scaling.json is
+# regenerated over the full series set with the longer settings in its
+# header (see bench-all).
 bench-scaling:
-	go run ./cmd/sqbench -figure scaling -transfers 3000 -repeats 2 -levels 1,4,8 -quiet -gate
+	go run ./cmd/sqbench -figure scaling -transfers 3000 -repeats 2 -levels 1,4,8 \
+		-cores queue,queue+shard+elim,seg -quiet -gate
+
+# Regenerate every committed BENCH_*.json in one pass, each with the
+# settings recorded in its committed header, printing per-figure headline
+# deltas against the files being replaced. Run on a quiet host; commit the
+# refreshed artifacts together with the delta summary in the PR body.
+bench-all:
+	go run ./cmd/sqbench -artifacts
 
 # Latency-observability gate: single-pair hand-off with the histograms off
 # vs on, interleaved repeats, min-of-repeats. The -gate check enforces the

@@ -1,0 +1,241 @@
+package main
+
+// Artifacts mode (`sqbench -artifacts`, `make bench-all`): regenerate
+// every committed BENCH_*.json in one pass, each with the settings
+// recorded in its committed header, and print a per-figure delta of the
+// headline numbers against the baseline being replaced — so a
+// regeneration is reviewable as "what moved and by how much", not just a
+// wall of changed JSON.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"synchq/internal/bench"
+)
+
+// Committed artifact settings; these mirror the headers of the checked-in
+// files and are deliberately longer than the quick `make check` gates.
+const (
+	artifactHandoffPairs     = 50000
+	artifactScalingTransfers = 10000
+	// Five repeats (best-of) because the committed sweep runs on a
+	// single-CPU CI host where 8-pair cells are scheduler-noisy.
+	artifactScalingRepeats    = 5
+	artifactLatencyTransfers  = 20000
+	artifactLatencyRepeats    = 7
+	artifactExecutorTransfers = 20000
+)
+
+// jsonReport is the surface every bench report shares.
+type jsonReport interface{ JSON() ([]byte, error) }
+
+// artifactJob regenerates one committed file and names the headline
+// metrics its delta report tracks, as paths into the JSON document.
+type artifactJob struct {
+	file      string
+	run       func(progress func(int, string, int)) (jsonReport, error)
+	headlines []headline
+}
+
+// headline is one tracked metric: a label and a path through the JSON
+// object tree. A path element selects a map key; the special element "[]"
+// fans out over every element of an array, using each element's keyField
+// value as the label suffix.
+type headline struct {
+	label    string
+	path     []string
+	keyField string
+}
+
+func artifactJobs() []artifactJob {
+	return []artifactJob{
+		{
+			file: "BENCH_handoff.json",
+			run: func(func(int, string, int)) (jsonReport, error) {
+				return bench.HandoffAllocs(artifactHandoffPairs), nil
+			},
+			headlines: []headline{
+				{label: "allocs/pair", path: []string{"results", "[]", "allocs_per_pair"}, keyField: "algo"},
+			},
+		},
+		{
+			file: "BENCH_scaling.json",
+			run: func(p func(int, string, int)) (jsonReport, error) {
+				_, r := bench.Scaling(bench.SweepOpts{
+					Transfers: artifactScalingTransfers,
+					Repeats:   artifactScalingRepeats,
+					Progress:  p,
+				})
+				return r, nil
+			},
+			headlines: []headline{
+				{label: "queue ns/transfer", path: []string{"summary", "baseline_ns_per_transfer"}},
+				{label: "queue+shard+elim ns/transfer", path: []string{"summary", "sharded_ns_per_transfer"}},
+				{label: "seg ns/transfer", path: []string{"summary", "seg_ns_per_transfer"}},
+				{label: "shard speedup", path: []string{"summary", "speedup"}},
+				{label: "seg speedup", path: []string{"summary", "seg_speedup"}},
+			},
+		},
+		{
+			file: "BENCH_latency.json",
+			run: func(p func(int, string, int)) (jsonReport, error) {
+				_, r := bench.Latency(bench.SweepOpts{
+					Transfers: artifactLatencyTransfers,
+					Repeats:   artifactLatencyRepeats,
+					Progress:  p,
+				})
+				return r, nil
+			},
+			headlines: []headline{
+				{label: "max metrics-on overhead", path: []string{"summary", "max_overhead"}},
+			},
+		},
+		{
+			file: "BENCH_executor.json",
+			run: func(p func(int, string, int)) (jsonReport, error) {
+				_, r := bench.Executor(bench.SweepOpts{
+					Transfers: artifactExecutorTransfers,
+					Progress:  p,
+				})
+				return r, nil
+			},
+			headlines: []headline{
+				{label: "queue-wait p99 ns", path: []string{"runs", "[]", "queue_wait_p99_ns"}, keyField: "series"},
+			},
+		},
+	}
+}
+
+// runArtifacts regenerates every artifact into dir, printing deltas;
+// it returns a process exit code.
+func runArtifacts(dir string, quiet bool) int {
+	failed := false
+	for _, job := range artifactJobs() {
+		path := filepath.Join(dir, job.file)
+		var progress func(int, string, int)
+		if !quiet {
+			fmt.Fprintf(os.Stderr, "sqbench: regenerating %s\n", path)
+			progress = func(_ int, algo string, level int) {
+				fmt.Fprintf(os.Stderr, "  %-28s level %d\n", algo, level)
+			}
+		}
+		report, err := job.run(progress)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sqbench: %s: %v\n", job.file, err)
+			failed = true
+			continue
+		}
+		out, err := report.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sqbench: %s: %v\n", job.file, err)
+			failed = true
+			continue
+		}
+		old, readErr := os.ReadFile(path)
+		fmt.Printf("%s:\n", job.file)
+		if readErr != nil {
+			fmt.Printf("  (no committed baseline to diff against)\n")
+		} else {
+			printDeltas(old, out, job.headlines)
+		}
+		if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "sqbench: %s: %v\n", job.file, err)
+			failed = true
+		}
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+// printDeltas renders old → new for every headline metric found in both
+// documents.
+func printDeltas(oldJSON, newJSON []byte, hs []headline) {
+	var oldDoc, newDoc any
+	if json.Unmarshal(oldJSON, &oldDoc) != nil || json.Unmarshal(newJSON, &newDoc) != nil {
+		fmt.Printf("  (baseline unparsable; skipping delta)\n")
+		return
+	}
+	for _, h := range hs {
+		for _, m := range extract(oldDoc, h, h.label) {
+			nv, ok := lookupLabeled(newDoc, h, m.label)
+			if !ok {
+				continue
+			}
+			fmt.Printf("  %-32s %s -> %s%s\n", m.label, trimNum(m.value), trimNum(nv), pct(m.value, nv))
+		}
+	}
+}
+
+type metric struct {
+	label string
+	value float64
+}
+
+// extract walks one headline path through doc, fanning out at "[]".
+func extract(doc any, h headline, label string) []metric {
+	cur := doc
+	for i, elem := range h.path {
+		if elem == "[]" {
+			arr, ok := cur.([]any)
+			if !ok {
+				return nil
+			}
+			var out []metric
+			for _, item := range arr {
+				obj, ok := item.(map[string]any)
+				if !ok {
+					continue
+				}
+				name, _ := obj[h.keyField].(string)
+				sub := headline{path: h.path[i+1:], keyField: h.keyField}
+				out = append(out, extract(item, sub, label+" "+name)...)
+			}
+			return out
+		}
+		obj, ok := cur.(map[string]any)
+		if !ok {
+			return nil
+		}
+		cur, ok = obj[elem]
+		if !ok {
+			return nil
+		}
+	}
+	v, ok := cur.(float64)
+	if !ok {
+		return nil
+	}
+	return []metric{{label: label, value: v}}
+}
+
+// lookupLabeled finds the metric with the same fan-out label in the new
+// document.
+func lookupLabeled(doc any, h headline, label string) (float64, bool) {
+	for _, m := range extract(doc, h, h.label) {
+		if m.label == label {
+			return m.value, true
+		}
+	}
+	return 0, false
+}
+
+func trimNum(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+// pct renders the relative change, or nothing when the baseline is zero.
+func pct(old, new float64) string {
+	if old == 0 {
+		return ""
+	}
+	return fmt.Sprintf(" (%+.1f%%)", (new-old)/old*100)
+}

@@ -51,6 +51,9 @@ func main() {
 		metricsF  = flag.Bool("metrics", false, "append, for live figures 3-5, the instrumented-counter table (CAS failures, spins, parks, unparks, cleaning sweeps per 1000 transfers) recorded alongside throughput")
 		jsonF     = flag.Bool("json", false, "emit a JSON report instead of a figure: the hand-off allocation benchmark (BENCH_handoff.json) by default, the scaling sweep (BENCH_scaling.json) with -figure scaling, or the latency-observability overhead benchmark (BENCH_latency.json) with -figure latency")
 		gate      = flag.Bool("gate", false, "exit nonzero on a failed regression gate: with -figure scaling, the sharded+adaptive fair queue must not be slower than the plain fair queue at the maximum pair count; with -figure latency, enabling the latency histograms must not exceed the overhead budget")
+		coresF    = flag.String("cores", "", `with -figure scaling: comma-separated series names restricting the sweep (e.g. "queue,seg"), so CI can gate a reduced comparison quickly; the gate checks whichever headline pairs the selection includes`)
+		artifacts = flag.Bool("artifacts", false, "regenerate every committed BENCH_*.json with its committed settings (the `make bench-all` entry point), printing per-figure headline deltas vs the files being replaced")
+		dirF      = flag.String("dir", ".", "with -artifacts: directory holding the BENCH_*.json files")
 		quiet     = flag.Bool("quiet", false, "suppress progress output on stderr")
 		procs     = flag.Int("procs", 0, "GOMAXPROCS for the run; 0 selects max(NumCPU, 8) so that the paper's contention regime is reproduced even on small hosts")
 		simProcs  = flag.Int("simprocs", 16, "simulated processors for -figure sim3")
@@ -67,6 +70,10 @@ func main() {
 	runtime.GOMAXPROCS(p)
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "sqbench: GOMAXPROCS=%d (NumCPU=%d)\n", p, runtime.NumCPU())
+	}
+
+	if *artifacts {
+		os.Exit(runArtifacts(*dirF, *quiet))
 	}
 
 	if *jsonF && *figure != "scaling" && *figure != "latency" && *figure != "executor" {
@@ -98,6 +105,15 @@ func main() {
 		Repeats:   *repeats,
 		Extras:    *extras,
 	}
+	if *coresF != "" {
+		for _, part := range strings.Split(*coresF, ",") {
+			opts.Cores = append(opts.Cores, strings.TrimSpace(part))
+		}
+		if err := bench.ValidateScalingCores(opts.Cores); err != nil {
+			fmt.Fprintf(os.Stderr, "sqbench: %v\n", err)
+			os.Exit(2)
+		}
+	}
 	if !*quiet {
 		opts.Progress = func(fig int, algo string, level int) {
 			fmt.Fprintf(os.Stderr, "figure %d: %-28s level %d\n", fig, algo, level)
@@ -117,17 +133,24 @@ func main() {
 			fmt.Print(t.CSV())
 		} else {
 			fmt.Print(t.Render())
-			fmt.Printf("\nsummary: queue+shard+elim at %d pairs: %.0f ns/transfer vs %.0f unsharded (%.2fx)\n",
-				report.Summary.MaxPairs, report.Summary.ShardedNs,
-				report.Summary.BaselineNs, report.Summary.Speedup)
+			if report.Summary.ShardedNs > 0 {
+				fmt.Printf("\nsummary: queue+shard+elim at %d pairs: %.0f ns/transfer vs %.0f unsharded (%.2fx)\n",
+					report.Summary.MaxPairs, report.Summary.ShardedNs,
+					report.Summary.BaselineNs, report.Summary.Speedup)
+			}
+			if report.Summary.SegNs > 0 {
+				fmt.Printf("summary: seg at %d pairs: %.0f ns/transfer vs %.0f plain queue (%.2fx)\n",
+					report.Summary.MaxPairs, report.Summary.SegNs,
+					report.Summary.BaselineNs, report.Summary.SegSpeedup)
+			}
 		}
 		if *gate {
 			if err := report.Gate(); err != nil {
 				fmt.Fprintf(os.Stderr, "sqbench: %v\n", err)
 				os.Exit(1)
 			}
-			fmt.Fprintf(os.Stderr, "sqbench: scaling gate passed (%.2fx at %d pairs)\n",
-				report.Summary.Speedup, report.Summary.MaxPairs)
+			fmt.Fprintf(os.Stderr, "sqbench: scaling gate passed (shard %.2fx, seg %.2fx at %d pairs)\n",
+				report.Summary.Speedup, report.Summary.SegSpeedup, report.Summary.MaxPairs)
 		}
 		return
 	}

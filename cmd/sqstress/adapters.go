@@ -21,6 +21,7 @@ import (
 	"synchq/internal/exchanger"
 	"synchq/internal/fault"
 	"synchq/internal/metrics"
+	"synchq/internal/segq"
 	"synchq/internal/shard"
 	"synchq/pool"
 )
@@ -139,6 +140,19 @@ func (a transferChaos) ChaosPoll(d time.Duration, cancel <-chan struct{}) (int64
 }
 func (a transferChaos) Close()       { a.t.Close() }
 func (a transferChaos) Closed() bool { return a.t.Closed() }
+
+// ---- segmented core -------------------------------------------------------
+
+type segChaos struct{ q *segq.Queue[int64] }
+
+func (a segChaos) ChaosOffer(v int64, d time.Duration, cancel <-chan struct{}) core.Status {
+	return a.q.PutDeadline(v, time.Now().Add(d), cancel)
+}
+func (a segChaos) ChaosPoll(d time.Duration, cancel <-chan struct{}) (int64, core.Status) {
+	return a.q.TakeDeadline(time.Now().Add(d), cancel)
+}
+func (a segChaos) Close()       { a.q.Close() }
+func (a segChaos) Closed() bool { return a.q.Closed() }
 
 // ---- sharded fabric -------------------------------------------------------
 
@@ -436,6 +450,23 @@ var coreDefs = []coreDef{
 		classes: []fault.Class{fault.ClassQueue, fault.ClassWait},
 		build: func(cfg core.WaitConfig) chaosStruct {
 			return transferChaos{core.NewTransferQueue[int64](cfg)}
+		},
+	},
+	{
+		// fifo stays false: pairing is FIFO by arrival (each side's F&A
+		// counter), but delivery *completion* order can invert between two
+		// of one producer's values when the taker of the earlier cell
+		// stalls between claiming its index and resolving the cell —
+		// interval-sound, yet outside the per-producer FIFO property the
+		// dual queue's head-ordered fulfillment guarantees.
+		key: "seg", desc: "segmented F&A core",
+		syncPair: true, cancelable: true,
+		classes: []fault.Class{fault.ClassSeg, fault.ClassWait},
+		sometimesCounters: map[metrics.ID]string{
+			metrics.SegUnlinks: "segment-unlinked",
+		},
+		build: func(cfg core.WaitConfig) chaosStruct {
+			return segChaos{segq.New[int64](cfg)}
 		},
 	},
 	{

@@ -28,7 +28,11 @@ func demandImpls() map[string]func() synchq.Queue[int] {
 		"eliminating": func() synchq.Queue[int] {
 			return synchq.NewEliminating(synchq.NewUnfair[int](), 2, 20*time.Microsecond)
 		},
-		"transfer": func() synchq.Queue[int] { return transferAsQueue{synchq.NewTransferQueue[int]()} },
+		"transfer":  func() synchq.Queue[int] { return transferAsQueue{synchq.NewTransferQueue[int]()} },
+		"segmented": func() synchq.Queue[int] { return synchq.New[int](synchq.Segmented()) },
+		"segmented+sharded": func() synchq.Queue[int] {
+			return synchq.New[int](synchq.Segmented(), synchq.Sharded(4))
+		},
 	}
 }
 
@@ -49,7 +53,11 @@ func timedImpls() map[string]func() synchq.TimedQueue[int] {
 		"eliminating": func() synchq.TimedQueue[int] {
 			return synchq.NewEliminating(synchq.NewUnfair[int](), 2, 20*time.Microsecond)
 		},
-		"transfer": func() synchq.TimedQueue[int] { return synchq.NewTransferQueue[int]() },
+		"transfer":  func() synchq.TimedQueue[int] { return synchq.NewTransferQueue[int]() },
+		"segmented": func() synchq.TimedQueue[int] { return synchq.New[int](synchq.Segmented()) },
+		"segmented+sharded": func() synchq.TimedQueue[int] {
+			return synchq.New[int](synchq.Segmented(), synchq.Sharded(4))
+		},
 	}
 }
 

@@ -26,6 +26,11 @@ type SweepOpts struct {
 	Repeats int
 	// Extras adds the Go channel and naive queue series.
 	Extras bool
+	// Cores, when non-empty, restricts the scaling sweep to the named
+	// series (by exact series name, e.g. "queue", "seg",
+	// "queue+shard+elim") so CI can gate a reduced sweep quickly. Figures
+	// other than scaling ignore it.
+	Cores []string
 	// Progress, if non-nil, is called before each cell is measured.
 	Progress func(figure int, algo string, level int)
 }

@@ -4,9 +4,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"runtime"
+	"strings"
 
 	"synchq/internal/core"
 	"synchq/internal/exchanger"
+	"synchq/internal/segq"
 	"synchq/internal/shard"
 	"synchq/internal/stats"
 )
@@ -62,11 +64,12 @@ func (e adaptiveElimSQ) Take() int64 {
 	return e.q.Take()
 }
 
-// scalingSeries enumerates the eight swept configurations: {stack, queue}
-// × {plain, +elim, +shard, +shard+elim}. Names are stable — they are the
-// JSON artifact's series keys.
+// scalingSeries enumerates the ten swept configurations: {stack, queue}
+// × {plain, +elim, +shard, +shard+elim}, plus the segmented core plain
+// and sharded. Names are stable — they are the JSON artifact's series
+// keys.
 func scalingSeries() []Algorithm {
-	series := make([]Algorithm, 0, 8)
+	series := make([]Algorithm, 0, 10)
 	for _, base := range []struct {
 		name string
 		fair bool
@@ -85,7 +88,55 @@ func scalingSeries() []Algorithm {
 			Algorithm{Name: base.name + "+shard+elim", New: func() SQ { return newAdaptiveElimSQ(newFabricSQ(fair)) }},
 		)
 	}
+	series = append(series,
+		Algorithm{Name: "seg", New: func() SQ { return segq.New[int64](core.WaitConfig{}) }},
+		Algorithm{Name: "seg+shard", New: func() SQ {
+			return fabricSQ{shard.New(0, func(int) shard.Dual[int64] {
+				return segq.New[int64](core.WaitConfig{})
+			})}
+		}},
+	)
 	return series
+}
+
+// filterSeries restricts series to the named subset (exact series names),
+// preserving sweep order. An unknown name is reported rather than silently
+// dropped so a typo in a CI -cores flag cannot quietly gate nothing.
+func filterSeries(series []Algorithm, names []string) ([]Algorithm, error) {
+	if len(names) == 0 {
+		return series, nil
+	}
+	byName := make(map[string]bool, len(names))
+	for _, n := range names {
+		byName[n] = true
+	}
+	var kept []Algorithm
+	for _, a := range series {
+		if byName[a.Name] {
+			kept = append(kept, a)
+			delete(byName, a.Name)
+		}
+	}
+	for n := range byName {
+		return nil, fmt.Errorf("unknown scaling series %q (have: %s)", n, strings.Join(seriesNames(series), ","))
+	}
+	return kept, nil
+}
+
+func seriesNames(series []Algorithm) []string {
+	names := make([]string, len(series))
+	for i, a := range series {
+		names[i] = a.Name
+	}
+	return names
+}
+
+// ValidateScalingCores checks a -cores selection against the sweep's
+// series names, so CLI entry points can reject a typo with a friendly
+// message instead of the panic Scaling reserves for programmer error.
+func ValidateScalingCores(names []string) error {
+	_, err := filterSeries(scalingSeries(), names)
+	return err
 }
 
 // ScalingLevels is the sweep's default x-axis: powers of two from one pair
@@ -111,14 +162,18 @@ type ScalingSeries struct {
 	Cells []ScalingCell `json:"cells"`
 }
 
-// ScalingSummary is the headline comparison at the maximum pair count: the
-// sharded, elimination-fronted fair queue against the plain fair queue —
-// the configuration pair the PR's acceptance gate compares.
+// ScalingSummary is the headline comparison at the maximum pair count:
+// the sharded, elimination-fronted fair queue and the segmented core,
+// each against the plain fair queue — the configuration pairs the
+// acceptance gates compare. Fields for series excluded by a Cores filter
+// are zero.
 type ScalingSummary struct {
 	MaxPairs   int     `json:"max_pairs"`
-	BaselineNs float64 `json:"baseline_ns_per_transfer"` // plain "queue"
-	ShardedNs  float64 `json:"sharded_ns_per_transfer"`  // "queue+shard+elim"
-	Speedup    float64 `json:"speedup"`                  // BaselineNs / ShardedNs
+	BaselineNs float64 `json:"baseline_ns_per_transfer"`      // plain "queue"
+	ShardedNs  float64 `json:"sharded_ns_per_transfer"`       // "queue+shard+elim"
+	Speedup    float64 `json:"speedup"`                       // BaselineNs / ShardedNs
+	SegNs      float64 `json:"seg_ns_per_transfer,omitempty"` // "seg"
+	SegSpeedup float64 `json:"seg_speedup,omitempty"`         // BaselineNs / SegNs
 }
 
 // ScalingReport is the JSON document behind BENCH_scaling.json.
@@ -148,29 +203,51 @@ func (r ScalingReport) JSON() ([]byte, error) {
 const gateFloorSingleCPU = 0.35
 
 // Gate is the coarse regression check `make bench-scaling` enforces: at
-// the maximum pair count, the sharded+adaptive fair queue must not be
-// slower than the plain fair queue. (The committed artifact is expected to
-// show a much larger margin on real multicore; the gate is deliberately
-// loose so a timeshared CI host does not flake it.) On a host with a
-// single hardware thread the gate degrades to a bounded-overhead check —
-// see gateFloorSingleCPU.
+// the maximum pair count, every headline configuration present in the
+// sweep — the sharded+adaptive fair queue, the segmented core — must not
+// be slower than the plain fair queue. (The committed artifact is
+// expected to show a much larger margin on real multicore; the gate is
+// deliberately loose so a timeshared CI host does not flake it.) On a
+// host with a single hardware thread the gate degrades to a
+// bounded-overhead check — see gateFloorSingleCPU. A sweep narrowed by
+// Cores gates only the pairs it measured; a sweep with no checkable pair
+// is an error, not a silent pass.
 func (r ScalingReport) Gate() error {
 	floor := 1.0
 	if r.NumCPU < 2 {
 		floor = gateFloorSingleCPU
 	}
-	if r.Summary.Speedup < floor {
-		return fmt.Errorf("scaling gate: queue+shard+elim at %d pairs is %.0f ns/transfer vs %.0f unsharded (speedup %.2fx < %.2fx, numcpu=%d)",
-			r.Summary.MaxPairs, r.Summary.ShardedNs, r.Summary.BaselineNs, r.Summary.Speedup, floor, r.NumCPU)
+	checked := 0
+	if r.Summary.ShardedNs > 0 && r.Summary.BaselineNs > 0 {
+		checked++
+		if r.Summary.Speedup < floor {
+			return fmt.Errorf("scaling gate: queue+shard+elim at %d pairs is %.0f ns/transfer vs %.0f unsharded (speedup %.2fx < %.2fx, numcpu=%d)",
+				r.Summary.MaxPairs, r.Summary.ShardedNs, r.Summary.BaselineNs, r.Summary.Speedup, floor, r.NumCPU)
+		}
+	}
+	if r.Summary.SegNs > 0 && r.Summary.BaselineNs > 0 {
+		checked++
+		if r.Summary.SegSpeedup < floor {
+			return fmt.Errorf("scaling gate: seg at %d pairs is %.0f ns/transfer vs %.0f plain queue (speedup %.2fx < %.2fx, numcpu=%d)",
+				r.Summary.MaxPairs, r.Summary.SegNs, r.Summary.BaselineNs, r.Summary.SegSpeedup, floor, r.NumCPU)
+		}
+	}
+	if checked == 0 {
+		return fmt.Errorf("scaling gate: no checkable pair in the sweep (need \"queue\" plus \"queue+shard+elim\" or \"seg\")")
 	}
 	return nil
 }
 
 // Scaling runs the sweep and returns both renderings: the aligned table
-// for the terminal and the JSON report for the artifact.
+// for the terminal and the JSON report for the artifact. It panics on an
+// unknown Cores name (the callers are CLI entry points whose -cores input
+// is validated here).
 func Scaling(o SweepOpts) (*stats.Table, ScalingReport) {
 	o = o.withDefaults(ScalingLevels(), 20000)
-	series := scalingSeries()
+	series, err := filterSeries(scalingSeries(), o.Cores)
+	if err != nil {
+		panic(err)
+	}
 	t := stats.NewTable("Scaling: N producers : N consumers, ± elimination ± sharding",
 		"pairs", "ns/transfer", columnNames(series))
 
@@ -215,6 +292,10 @@ func Scaling(o SweepOpts) (*stats.Table, ScalingReport) {
 	report.Summary.ShardedNs = last("queue+shard+elim")
 	if report.Summary.ShardedNs > 0 {
 		report.Summary.Speedup = report.Summary.BaselineNs / report.Summary.ShardedNs
+	}
+	report.Summary.SegNs = last("seg")
+	if report.Summary.SegNs > 0 {
+		report.Summary.SegSpeedup = report.Summary.BaselineNs / report.Summary.SegNs
 	}
 	return t, report
 }

@@ -128,6 +128,22 @@ func (c WaitConfig) resolve() (timed, untimed int) {
 	return timed, untimed
 }
 
+// SpinPolicy resolves the config into the effective static spin budgets
+// and, for the zero-value policy, the adaptive calibrator — the same
+// resolution NewDualQueue and NewDualStack apply internally, exported so
+// hand-off cores outside this package (internal/segq) share one waiting
+// policy. cal is nil whenever either budget was set explicitly.
+func (c WaitConfig) SpinPolicy() (timed, untimed int, cal *spin.Calibrator) {
+	timed, untimed = c.resolve()
+	return timed, untimed, c.calibrator()
+}
+
+// DeadlineFor converts a patience duration into an absolute deadline with
+// the poll/offer convention shared by every core: zero patience yields an
+// already-expired deadline (pure poll/offer), negative patience is treated
+// as zero.
+func DeadlineFor(d time.Duration) time.Time { return deadlineFor(d) }
+
 // deadlineFor converts a patience duration into an absolute deadline; zero
 // patience yields an already-expired deadline (pure poll/offer), negative
 // patience is treated as zero.

@@ -63,12 +63,19 @@ type qitem[T any] struct {
 // NewDualQueue to create one; a DualQueue must not be copied after first
 // use.
 type DualQueue[T any] struct {
+	// head, tail, and cleanMe each own a cache line: consumers CAS head,
+	// producers CAS tail, and cancellation sweeps CAS cleanMe, so sharing
+	// a line would make every advance on one end invalidate the other —
+	// and the read-mostly sentinels below it.
 	head atomic.Pointer[qnode[T]]
+	_    [56]byte
 	tail atomic.Pointer[qnode[T]]
+	_    [56]byte
 	// cleanMe is the predecessor of the last canceled node that could not
 	// be unlinked immediately because it was the tail (the paper's — and
 	// Java 6's — lazy cleaning strategy).
 	cleanMe atomic.Pointer[qnode[T]]
+	_       [56]byte
 	// canceled is this queue's cancellation sentinel: a canceled node's
 	// item points here. It stands in for the JDK's "item == this"
 	// self-marker, which Go's typed atomics cannot express.

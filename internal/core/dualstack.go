@@ -45,6 +45,11 @@ type snode[T any] struct {
 	wp     park.Parker
 	box    qitem[T]
 	mode   uint8
+	// Pad to the next cache-line multiple (88 → 128 bytes for word-sized
+	// T): at 88 the allocator's 96-byte size class leaves consecutive
+	// nodes straddling shared lines, so one waiter's match CAS invalidates
+	// its neighbor's spin on a different node.
+	_ [47]byte
 }
 
 // tryMatch attempts to match node m with fulfiller f, waking m's waiter on
@@ -70,7 +75,11 @@ func (n *snode[T]) casNext(m, mn *snode[T]) bool {
 // most recently arrived waiter is paired first (LIFO). Use NewDualStack to
 // create one; a DualStack must not be copied after first use.
 type DualStack[T any] struct {
+	// head owns its cache line: it is the single CAS target every push,
+	// annihilation, and unlink fights over, and the fields below it are
+	// read in those same loops.
 	head atomic.Pointer[snode[T]]
+	_    [56]byte
 
 	// closedMark is the shutdown sentinel: a waiter whose node's match is
 	// swung here was evicted by Close and reports the Closed status. It

@@ -33,7 +33,7 @@ type QueueTicket[T any] struct {
 	node *qnode[T]
 	pred *qnode[T]
 	e    *qitem[T] // the node's initial item state
-	t0   int64 // reservation arrival, for the latency histograms
+	t0   int64     // reservation arrival, for the latency histograms
 	done bool      // a follow-up already consumed the outcome
 }
 

@@ -114,6 +114,28 @@ const (
 	// injected failure makes the idle worker treat its decrement as a
 	// lost race and re-poll, exercising the CoreWorkers floor re-check.
 	PoolRetireCAS
+	// SegInstallCAS is the segmented core's cell install CAS (EMPTY→ITEM
+	// or EMPTY→WAITER, and the zero-patience EMPTY→BROKEN poison): an
+	// injected failure replays the lost-install arc, re-reading the cell
+	// state before retrying.
+	SegInstallCAS
+	// SegResolveCAS is the segmented core's cell resolution CAS
+	// (ITEM→DONE claim or WAITER→DONE delivery): an injected failure
+	// replays the race against the installer's own abort.
+	SegResolveCAS
+	// SegAppendCAS is the segmented core's tail segment append CAS: an
+	// injected failure replays the lost-append race, in which the spare
+	// segment goes to the bounded free list and the walker re-reads next.
+	SegAppendCAS
+	// SegResolvePause preempts between winning a resolution CAS and
+	// unparking the cell's waiter — the segmented core's lost-wakeup
+	// window.
+	SegResolvePause
+	// SegCloseRacePause preempts between the segmented core's closed
+	// check and the cell install CAS — the window in which Close can
+	// complete its eviction sweep before the install is visible, so only
+	// the installer's post-install re-check can evict it.
+	SegCloseRacePause
 
 	// NumSites is the number of injection sites.
 	NumSites
@@ -142,6 +164,11 @@ var siteNames = [NumSites]string{
 	PoolSpawnRacePause: "pool-spawn-race-pause",
 	PoolAdmitPause:     "pool-admit-pause",
 	PoolRetireCAS:      "pool-retire-cas",
+	SegInstallCAS:      "seg-install-cas",
+	SegResolveCAS:      "seg-resolve-cas",
+	SegAppendCAS:       "seg-append-cas",
+	SegResolvePause:    "seg-resolve-pause",
+	SegCloseRacePause:  "seg-close-race-pause",
 }
 
 // String returns the site's stable name.

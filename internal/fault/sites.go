@@ -30,6 +30,8 @@ const (
 	// ClassPool sites are queried by the executor tier (pool admission,
 	// spawn, and retirement paths) above whatever structure backs it.
 	ClassPool
+	// ClassSeg sites are queried by the segment-backed hand-off core.
+	ClassSeg
 )
 
 // String returns the class's stable name.
@@ -47,6 +49,8 @@ func (c Class) String() string {
 		return "wait"
 	case ClassPool:
 		return "pool"
+	case ClassSeg:
+		return "seg"
 	default:
 		return "invalid"
 	}
@@ -76,6 +80,11 @@ var siteClasses = [NumSites]Class{
 	PoolSpawnRacePause: ClassPool,
 	PoolAdmitPause:     ClassPool,
 	PoolRetireCAS:      ClassPool,
+	SegInstallCAS:      ClassSeg,
+	SegResolveCAS:      ClassSeg,
+	SegAppendCAS:       ClassSeg,
+	SegResolvePause:    ClassSeg,
+	SegCloseRacePause:  ClassSeg,
 }
 
 // Class returns the structure class that queries s.

@@ -122,6 +122,12 @@ const (
 	// CrashLoops counts crash-loop detections in an executor's workers:
 	// a panic burst dense enough that the pool engaged spawn backoff.
 	CrashLoops
+	// SegUnlinks counts hand-off segments whose cells all reached a
+	// terminal state (the segmented core's recycling trigger): each such
+	// segment is handed to the unlinker and spliced out of the ring, so
+	// this counter evidences that cancellation storms actually reclaim
+	// their segments instead of growing the structure.
+	SegUnlinks
 
 	// NumIDs is the number of counters in a Handle.
 	NumIDs
@@ -152,6 +158,7 @@ var names = [NumIDs]string{
 	TasksRejected:  "tasks-rejected",
 	TasksReturned:  "tasks-returned",
 	CrashLoops:     "crash-loops",
+	SegUnlinks:     "seg-unlinks",
 }
 
 // String returns the counter's stable snake-ish name (used as expvar map

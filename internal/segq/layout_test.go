@@ -1,0 +1,62 @@
+package segq
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// Whitebox layout audit for the segmented core: the whole point of the
+// segment is that adjacent claimants touch adjacent memory *on purpose*,
+// so each cell must own a full cache line and the shared header must not
+// share a line with cells[0]. These assertions are what "cache-line-
+// aligned segments" means, checked rather than assumed; a field added
+// without re-padding fails here, not in a benchmark regression.
+
+const cacheLine = 64
+
+func TestCellOwnsACacheLine(t *testing.T) {
+	var c cell[int64]
+	if got := unsafe.Sizeof(c); got != cacheLine {
+		t.Fatalf("cell[int64] size = %d, want exactly %d: a waiter's state+parker must not share a line with its neighbor's", got, cacheLine)
+	}
+	// The hot fields of one hand-off sit together at the front of the line.
+	if off := unsafe.Offsetof(c.state); off != 0 {
+		t.Fatalf("cell.state offset = %d, want 0", off)
+	}
+	if off := unsafe.Offsetof(c.v); off >= cacheLine {
+		t.Fatalf("cell.v offset = %d, spills past the cell's line", off)
+	}
+}
+
+func TestSegmentHeaderIsolatedFromCells(t *testing.T) {
+	var s segment[int64]
+	if off := unsafe.Offsetof(s.cells); off%cacheLine != 0 {
+		t.Fatalf("segment.cells offset = %d, want a multiple of %d so cell i lands on line i", off, cacheLine)
+	}
+	if off := unsafe.Offsetof(s.cells); off < cacheLine {
+		t.Fatalf("segment.cells offset = %d: header (next/prev/resolved, all CASed during unlink) shares a line with cells[0]", off)
+	}
+	want := unsafe.Offsetof(s.cells) + SegSize*unsafe.Sizeof(s.cells[0])
+	if got := unsafe.Sizeof(s); got != want {
+		t.Fatalf("segment size = %d, want %d (header padding + %d full-line cells)", got, want, SegSize)
+	}
+}
+
+func TestQueueCountersOnDistinctLines(t *testing.T) {
+	var q Queue[int64]
+	offsets := map[string]uintptr{
+		"putc":    unsafe.Offsetof(q.putc),
+		"takec":   unsafe.Offsetof(q.takec),
+		"putSeg":  unsafe.Offsetof(q.putSeg),
+		"takeSeg": unsafe.Offsetof(q.takeSeg),
+		"head":    unsafe.Offsetof(q.head),
+	}
+	lines := make(map[uintptr]string, len(offsets))
+	for name, off := range offsets {
+		line := off / cacheLine
+		if prev, clash := lines[line]; clash {
+			t.Errorf("%s (offset %d) shares cache line %d with %s: every F&A on one side would invalidate the other", name, off, line, prev)
+		}
+		lines[line] = name
+	}
+}

@@ -1,0 +1,57 @@
+package segq_test
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"synchq/internal/core"
+	"synchq/internal/segq"
+)
+
+// TestUntimedHandoffStorm is the regression test for the lost-wakeup wedge:
+// an install-CAS loser used to reset the cell's shared parker, wiping the
+// winner's park state so the fulfilling Unpark deposited a permit nobody
+// was told about — and an untimed waiter, with no deadline to force a
+// state re-check, slept forever. The race needs real parallelism between
+// the two installers, so the test raises GOMAXPROCS itself rather than
+// trusting the host (single-CPU CI runs never reproduced it), and treats
+// any round outlasting the watchdog as the wedge.
+func TestUntimedHandoffStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parallel storm; skipped in -short")
+	}
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+
+	const rounds = 500
+	const pairs = 8
+	const per = 300
+	for round := 0; round < rounds; round++ {
+		q := segq.New[int64](core.WaitConfig{})
+		var wg sync.WaitGroup
+		done := make(chan struct{})
+		for p := 0; p < pairs; p++ {
+			wg.Add(2)
+			go func(p int) {
+				defer wg.Done()
+				for k := 0; k < per; k++ {
+					q.Put(int64(p)<<32 | int64(k))
+				}
+			}(p)
+			go func() {
+				defer wg.Done()
+				for k := 0; k < per; k++ {
+					q.Take()
+				}
+			}()
+		}
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatalf("round %d: untimed hand-off wedged (lost wakeup)", round)
+		}
+	}
+}

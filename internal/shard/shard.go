@@ -115,6 +115,7 @@ type Fabric[T any] struct {
 	// to the enqueue latency.
 	_    [64]byte // keep the hot summaries off the shards header's line
 	prod atomic.Uint64
+	_    [56]byte // producers RMW prod, consumers RMW cons: split the lines
 	cons atomic.Uint64
 	_    [64]byte
 }

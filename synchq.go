@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"synchq/internal/core"
+	"synchq/internal/segq"
 	"synchq/internal/shard"
 )
 
@@ -105,11 +106,12 @@ var (
 type Option func(*config)
 
 type config struct {
-	fair    bool
-	sharded bool
-	shards  int
-	wait    core.WaitConfig
-	inst    *Metrics
+	fair      bool
+	sharded   bool
+	segmented bool
+	shards    int
+	wait      core.WaitConfig
+	inst      *Metrics
 
 	// Elimination front-end (NewEliminatingQueue / Eliminating options).
 	elim         bool
@@ -140,6 +142,23 @@ func Fair(fair bool) Option {
 // default (no spinning on uniprocessors).
 func Spins(timed, untimed int) Option {
 	return func(c *config) { c.wait = core.WaitConfig{TimedSpins: timed, UntimedSpins: untimed} }
+}
+
+// Segmented selects the segment-backed hand-off core: waiters live in
+// fixed-size, cache-line-aligned segments of hand-off cells claimed by a
+// single fetch-and-add per side and resolved by a single CAS per cell,
+// instead of the dual structures' per-waiter linked nodes. Arrival order
+// still decides pairing — each side's counter is FIFO by construction —
+// so a segmented queue reports Fair() true; what changes is the memory
+// system's view: one allocation amortizes over a whole segment of
+// transfers, hot-path pointer chasing disappears, and fully consumed or
+// aborted segments are unlinked so cancellation storms cannot grow the
+// structure (see DESIGN.md "Segmented core").
+//
+// Segmented composes with Sharded (each shard becomes a segmented core)
+// and Instrument; it overrides Fair's choice of implementation.
+func Segmented() Option {
+	return func(c *config) { c.segmented = true }
 }
 
 // Sharded stripes the queue across n independent dual structures (n is
@@ -174,7 +193,7 @@ func New[T any](opts ...Option) *SynchronousQueue[T] {
 // half of New and NewEliminatingQueue, so every option (including
 // Instrument) means the same thing under both constructors.
 func newFromConfig[T any](c config) *SynchronousQueue[T] {
-	q := &SynchronousQueue[T]{fair: c.fair, inst: c.inst}
+	q := &SynchronousQueue[T]{fair: c.fair || c.segmented, inst: c.inst}
 	switch {
 	case c.sharded:
 		fab := shard.New(c.shards, func(i int) shard.Dual[T] {
@@ -184,6 +203,9 @@ func newFromConfig[T any](c config) *SynchronousQueue[T] {
 				// Metrics.ShardStats can expose per-shard behavior;
 				// Metrics.Stats merges them back together.
 				w.Metrics = c.inst.shardHandle(i)
+			}
+			if c.segmented {
+				return segq.New[T](w)
 			}
 			if c.fair {
 				return core.NewDualQueue[T](w)
@@ -196,6 +218,8 @@ func newFromConfig[T any](c config) *SynchronousQueue[T] {
 		fab.SetFault(c.wait.Fault)
 		q.impl = fab
 		q.shards = fab.Shards()
+	case c.segmented:
+		q.impl = segq.New[T](c.wait)
 	case c.fair:
 		q.impl = core.NewDualQueue[T](c.wait)
 	default:
