@@ -1,8 +1,8 @@
 # Tier-1 gate: everything `make check` runs must pass before a change
 # lands. CI and the pre-merge driver run exactly this target.
-.PHONY: check lint vet fmt build test race bench-overhead bench-smoke bench-all bench-scaling bench-latency bench-executor stress soak soak-short
+.PHONY: check lint vet fmt build test race bench-overhead bench-smoke bench-all bench-scaling bench-batch bench-latency bench-executor stress soak soak-short
 
-check: lint build test race bench-smoke bench-scaling bench-latency bench-executor soak-short
+check: lint build test race bench-smoke bench-scaling bench-batch bench-latency bench-executor soak-short
 
 # Static tier: vet plus a gofmt cleanliness check (gofmt -l prints the
 # offending files; grep inverts that into a pass/fail).
@@ -48,6 +48,19 @@ bench-smoke:
 bench-scaling:
 	go run ./cmd/sqbench -figure scaling -transfers 3000 -repeats 2 -levels 1,4,8 \
 		-cores queue,queue+shard+elim,seg -quiet -gate
+
+# Batched hand-off gate: k-item batch ops vs k single ops on the two gated
+# cores (seg's multi-cell claim, transfer's burst splice), reduced to the
+# baseline and headline batch sizes so CI gates quickly. The -gate floors
+# are host-aware: ≥25% lower ns/item at k=8 on multicore hosts; on a
+# single-CPU host the seg floor demands a clear win (its saving is
+# park/unpark amortization, which survives, but the margin is scheduler
+# noise) while the transfer floor only bounds the overhead (its saving is
+# tail-CAS contention, which a single CPU cannot exhibit). The committed
+# BENCH_batch.json is regenerated over the full sweep by bench-all.
+bench-batch:
+	go run ./cmd/sqbench -figure batch -transfers 3000 -repeats 2 -levels 1,8 \
+		-cores seg,transfer -quiet -gate
 
 # Regenerate every committed BENCH_*.json in one pass, each with the
 # settings recorded in its committed header, printing per-figure headline

@@ -49,8 +49,21 @@ func (f *stubImpl[T]) HasWaitingProducer() bool               { return false }
 func (f *stubImpl[T]) IsEmpty() bool                          { return true }
 func (f *stubImpl[T]) ReserveTake() (T, core.Ticket[T], bool) { var z T; return z, nil, false }
 func (f *stubImpl[T]) ReservePut(v T) (core.Ticket[T], bool)  { return nil, false }
-func (f *stubImpl[T]) Close()                                 {}
-func (f *stubImpl[T]) Closed() bool                           { return true }
+func (f *stubImpl[T]) PutBatch(items []T, _ time.Time, _ <-chan struct{}) (int, core.Status) {
+	for _, v := range items {
+		f.v = v
+		f.puts++
+	}
+	return len(items), core.OK
+}
+func (f *stubImpl[T]) TakeBatch(buf []T, max int, _ time.Time, _ <-chan struct{}) ([]T, core.Status) {
+	if max > 0 {
+		buf = append(buf, f.v)
+	}
+	return buf, core.OK
+}
+func (f *stubImpl[T]) Close()       {}
+func (f *stubImpl[T]) Closed() bool { return true }
 
 // TestContextOpsAttemptFirst feeds the context operations an impl that
 // claims to be closed yet completes every attempt: the operations must

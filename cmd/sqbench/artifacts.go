@@ -28,6 +28,10 @@ const (
 	artifactLatencyTransfers  = 20000
 	artifactLatencyRepeats    = 7
 	artifactExecutorTransfers = 20000
+	artifactBatchTransfers    = 20000
+	// Best-of-five, like scaling: the batched cells at high pair counts
+	// are park/unpark-bound and scheduler-noisy on shared CI hosts.
+	artifactBatchRepeats = 5
 )
 
 // jsonReport is the surface every bench report shares.
@@ -78,6 +82,25 @@ func artifactJobs() []artifactJob {
 				{label: "seg ns/transfer", path: []string{"summary", "seg_ns_per_transfer"}},
 				{label: "shard speedup", path: []string{"summary", "speedup"}},
 				{label: "seg speedup", path: []string{"summary", "seg_speedup"}},
+			},
+		},
+		{
+			file: "BENCH_batch.json",
+			run: func(p func(int, string, int)) (jsonReport, error) {
+				_, r := bench.Batch(bench.SweepOpts{
+					Transfers: artifactBatchTransfers,
+					Repeats:   artifactBatchRepeats,
+					Progress:  p,
+				})
+				return r, nil
+			},
+			headlines: []headline{
+				{label: "seg single ns/item", path: []string{"summary", "seg_single_ns_per_item"}},
+				{label: "seg batch ns/item", path: []string{"summary", "seg_batch_ns_per_item"}},
+				{label: "seg gain", path: []string{"summary", "seg_gain"}},
+				{label: "transfer single ns/item", path: []string{"summary", "transfer_single_ns_per_item"}},
+				{label: "transfer batch ns/item", path: []string{"summary", "transfer_batch_ns_per_item"}},
+				{label: "transfer gain", path: []string{"summary", "transfer_gain"}},
 			},
 		},
 		{

@@ -40,7 +40,7 @@ func simTransfers(o bench.SweepOpts) int64 {
 
 func main() {
 	var (
-		figure    = flag.String("figure", "all", `figure to regenerate: "3", "4", "5", "6", "all", an ablation ("spin", "clean", "elim", "procsweep", "ablations"), "scaling" (the producer×consumer scaling sweep), "latency" (the latency-histogram overhead benchmark), "executor" (the bursty RPC-frontend executor macro-benchmark), or "sim3" (Figure 3 on the simulated multiprocessor)`)
+		figure    = flag.String("figure", "all", `figure to regenerate: "3", "4", "5", "6", "all", an ablation ("spin", "clean", "elim", "procsweep", "ablations"), "scaling" (the producer×consumer scaling sweep), "batch" (k-item batch ops vs k single ops), "latency" (the latency-histogram overhead benchmark), "executor" (the bursty RPC-frontend executor macro-benchmark), or "sim3" (Figure 3 on the simulated multiprocessor)`)
 		transfers = flag.Int64("transfers", 20000, "transfers (or tasks) per measurement cell")
 		levels    = flag.String("levels", "", "comma-separated sweep levels overriding the paper's defaults")
 		repeats   = flag.Int("repeats", 3, "measurements per cell (minimum is reported)")
@@ -49,9 +49,9 @@ func main() {
 		chart     = flag.Bool("chart", false, "emit ASCII bar charts instead of tables")
 		speedup   = flag.String("speedup", "", "append a speedup table relative to the named series (e.g. \"SynchronousQueue\")")
 		metricsF  = flag.Bool("metrics", false, "append, for live figures 3-5, the instrumented-counter table (CAS failures, spins, parks, unparks, cleaning sweeps per 1000 transfers) recorded alongside throughput")
-		jsonF     = flag.Bool("json", false, "emit a JSON report instead of a figure: the hand-off allocation benchmark (BENCH_handoff.json) by default, the scaling sweep (BENCH_scaling.json) with -figure scaling, or the latency-observability overhead benchmark (BENCH_latency.json) with -figure latency")
-		gate      = flag.Bool("gate", false, "exit nonzero on a failed regression gate: with -figure scaling, the sharded+adaptive fair queue must not be slower than the plain fair queue at the maximum pair count; with -figure latency, enabling the latency histograms must not exceed the overhead budget")
-		coresF    = flag.String("cores", "", `with -figure scaling: comma-separated series names restricting the sweep (e.g. "queue,seg"), so CI can gate a reduced comparison quickly; the gate checks whichever headline pairs the selection includes`)
+		jsonF     = flag.Bool("json", false, "emit a JSON report instead of a figure: the hand-off allocation benchmark (BENCH_handoff.json) by default, the scaling sweep (BENCH_scaling.json) with -figure scaling, the batch sweep (BENCH_batch.json) with -figure batch, or the latency-observability overhead benchmark (BENCH_latency.json) with -figure latency")
+		gate      = flag.Bool("gate", false, "exit nonzero on a failed regression gate: with -figure scaling, the sharded+adaptive fair queue must not be slower than the plain fair queue at the maximum pair count; with -figure batch, k=8 batches must beat the equivalent single-op loop on the seg and transfer cores; with -figure latency, enabling the latency histograms must not exceed the overhead budget")
+		coresF    = flag.String("cores", "", `with -figure scaling or batch: comma-separated series names restricting the sweep (e.g. "queue,seg"), so CI can gate a reduced comparison quickly; the gate checks whichever headline pairs the selection includes`)
 		artifacts = flag.Bool("artifacts", false, "regenerate every committed BENCH_*.json with its committed settings (the `make bench-all` entry point), printing per-figure headline deltas vs the files being replaced")
 		dirF      = flag.String("dir", ".", "with -artifacts: directory holding the BENCH_*.json files")
 		quiet     = flag.Bool("quiet", false, "suppress progress output on stderr")
@@ -76,7 +76,7 @@ func main() {
 		os.Exit(runArtifacts(*dirF, *quiet))
 	}
 
-	if *jsonF && *figure != "scaling" && *figure != "latency" && *figure != "executor" {
+	if *jsonF && *figure != "scaling" && *figure != "batch" && *figure != "latency" && *figure != "executor" {
 		report := bench.HandoffAllocs(*transfers)
 		out, err := report.JSON()
 		if err != nil {
@@ -109,7 +109,11 @@ func main() {
 		for _, part := range strings.Split(*coresF, ",") {
 			opts.Cores = append(opts.Cores, strings.TrimSpace(part))
 		}
-		if err := bench.ValidateScalingCores(opts.Cores); err != nil {
+		validate := bench.ValidateScalingCores
+		if *figure == "batch" {
+			validate = bench.ValidateBatchCores
+		}
+		if err := validate(opts.Cores); err != nil {
 			fmt.Fprintf(os.Stderr, "sqbench: %v\n", err)
 			os.Exit(2)
 		}
@@ -151,6 +155,41 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "sqbench: scaling gate passed (shard %.2fx, seg %.2fx at %d pairs)\n",
 				report.Summary.Speedup, report.Summary.SegSpeedup, report.Summary.MaxPairs)
+		}
+		return
+	}
+
+	if *figure == "batch" {
+		t, report := bench.Batch(opts)
+		if *jsonF {
+			out, err := report.JSON()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sqbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%s\n", out)
+		} else if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Print(t.Render())
+			if report.Summary.SegBatchNs > 0 {
+				fmt.Printf("\nsummary: seg k=%d at %d pairs: %.0f ns/item vs %.0f single-op (%.2fx)\n",
+					report.Summary.K, report.Summary.MaxPairs, report.Summary.SegBatchNs,
+					report.Summary.SegSingleNs, report.Summary.SegGain)
+			}
+			if report.Summary.TransferBatchNs > 0 {
+				fmt.Printf("summary: transfer k=%d at %d pairs: %.0f ns/item vs %.0f single-op (%.2fx)\n",
+					report.Summary.K, report.Summary.MaxPairs, report.Summary.TransferBatchNs,
+					report.Summary.TransferSingleNs, report.Summary.TransferGain)
+			}
+		}
+		if *gate {
+			if err := report.Gate(); err != nil {
+				fmt.Fprintf(os.Stderr, "sqbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "sqbench: batch gate passed (seg %.2fx, transfer %.2fx at k=%d, %d pairs)\n",
+				report.Summary.SegGain, report.Summary.TransferGain, report.Summary.K, report.Summary.MaxPairs)
 		}
 		return
 	}

@@ -43,6 +43,19 @@ type quiescer interface {
 	Quiesce(d time.Duration) bool
 }
 
+// chaosBatcher is the optional batched surface: adapters over cores with
+// PutBatch/TakeBatch implement it, and the workload engine mixes k-item
+// batch operations into the traffic of every scenario. Offers must stay
+// synchronous per item on syncPair cores (the transfer adapter uses
+// TransferBatch, not the asynchronous PutAll burst, so the synchrony
+// property still holds for batched values). ChaosOfferBatch reports the
+// partial-fill count n; per the batch contract, vs[n:] afterwards holds
+// exactly the undelivered values.
+type chaosBatcher interface {
+	ChaosOfferBatch(vs []int64, patience time.Duration, cancel <-chan struct{}) (int, core.Status)
+	ChaosPollBatch(max int, patience time.Duration, cancel <-chan struct{}) ([]int64, core.Status)
+}
+
 // coreDef describes one structure under test.
 type coreDef struct {
 	// key is the stable config name used in -cores and the verdict table.
@@ -62,6 +75,10 @@ type coreDef struct {
 	// executor-ledger property, the drain/overload scenarios apply, and
 	// submissions propagate context deadlines and cancellation.
 	executor bool
+	// batch: the adapter implements chaosBatcher and the workload engine
+	// mixes multi-item offers/polls into every scenario (the pool's
+	// submission surface is per-task, so it opts out).
+	batch bool
 	// buffered is the structure's legal buffering capacity (0 for the
 	// synchronous cores); it widens the continuous conservation slack.
 	buffered int64
@@ -115,6 +132,13 @@ func (a queueChaos) ChaosPoll(d time.Duration, cancel <-chan struct{}) (int64, c
 func (a queueChaos) Close()       { a.q.Close() }
 func (a queueChaos) Closed() bool { return a.q.Closed() }
 
+func (a queueChaos) ChaosOfferBatch(vs []int64, d time.Duration, cancel <-chan struct{}) (int, core.Status) {
+	return a.q.PutBatch(vs, time.Now().Add(d), cancel)
+}
+func (a queueChaos) ChaosPollBatch(max int, d time.Duration, cancel <-chan struct{}) ([]int64, core.Status) {
+	return a.q.TakeBatch(nil, max, time.Now().Add(d), cancel)
+}
+
 // ---- dual stack -----------------------------------------------------------
 
 type stackChaos struct{ s *core.DualStack[int64] }
@@ -127,6 +151,13 @@ func (a stackChaos) ChaosPoll(d time.Duration, cancel <-chan struct{}) (int64, c
 }
 func (a stackChaos) Close()       { a.s.Close() }
 func (a stackChaos) Closed() bool { return a.s.Closed() }
+
+func (a stackChaos) ChaosOfferBatch(vs []int64, d time.Duration, cancel <-chan struct{}) (int, core.Status) {
+	return a.s.PutBatch(vs, time.Now().Add(d), cancel)
+}
+func (a stackChaos) ChaosPollBatch(max int, d time.Duration, cancel <-chan struct{}) ([]int64, core.Status) {
+	return a.s.TakeBatch(nil, max, time.Now().Add(d), cancel)
+}
 
 // ---- transfer queue -------------------------------------------------------
 
@@ -141,6 +172,13 @@ func (a transferChaos) ChaosPoll(d time.Duration, cancel <-chan struct{}) (int64
 func (a transferChaos) Close()       { a.t.Close() }
 func (a transferChaos) Closed() bool { return a.t.Closed() }
 
+func (a transferChaos) ChaosOfferBatch(vs []int64, d time.Duration, cancel <-chan struct{}) (int, core.Status) {
+	return a.t.TransferBatch(vs, time.Now().Add(d), cancel)
+}
+func (a transferChaos) ChaosPollBatch(max int, d time.Duration, cancel <-chan struct{}) ([]int64, core.Status) {
+	return a.t.TakeBatch(nil, max, time.Now().Add(d), cancel)
+}
+
 // ---- segmented core -------------------------------------------------------
 
 type segChaos struct{ q *segq.Queue[int64] }
@@ -154,6 +192,13 @@ func (a segChaos) ChaosPoll(d time.Duration, cancel <-chan struct{}) (int64, cor
 func (a segChaos) Close()       { a.q.Close() }
 func (a segChaos) Closed() bool { return a.q.Closed() }
 
+func (a segChaos) ChaosOfferBatch(vs []int64, d time.Duration, cancel <-chan struct{}) (int, core.Status) {
+	return a.q.PutBatch(vs, time.Now().Add(d), cancel)
+}
+func (a segChaos) ChaosPollBatch(max int, d time.Duration, cancel <-chan struct{}) ([]int64, core.Status) {
+	return a.q.TakeBatch(nil, max, time.Now().Add(d), cancel)
+}
+
 // ---- sharded fabric -------------------------------------------------------
 
 type fabricChaos struct{ f *shard.Fabric[int64] }
@@ -166,6 +211,13 @@ func (a fabricChaos) ChaosPoll(d time.Duration, cancel <-chan struct{}) (int64, 
 }
 func (a fabricChaos) Close()       { a.f.Close() }
 func (a fabricChaos) Closed() bool { return a.f.Closed() }
+
+func (a fabricChaos) ChaosOfferBatch(vs []int64, d time.Duration, cancel <-chan struct{}) (int, core.Status) {
+	return a.f.PutBatch(vs, time.Now().Add(d), cancel)
+}
+func (a fabricChaos) ChaosPollBatch(max int, d time.Duration, cancel <-chan struct{}) ([]int64, core.Status) {
+	return a.f.TakeBatch(nil, max, time.Now().Add(d), cancel)
+}
 
 // ---- eliminating composition ----------------------------------------------
 
@@ -208,6 +260,16 @@ func (a elimChaos) ChaosPoll(d time.Duration, cancel <-chan struct{}) (int64, co
 }
 func (a elimChaos) Close()       { a.q.Close() }
 func (a elimChaos) Closed() bool { return a.q.Closed() }
+
+// Batched operations bypass the arena, like the public EliminatingQueue
+// batch entry points: an arena exchange pairs exactly one producer with
+// one consumer, so a batch gains nothing from it.
+func (a elimChaos) ChaosOfferBatch(vs []int64, d time.Duration, cancel <-chan struct{}) (int, core.Status) {
+	return a.q.PutBatch(vs, time.Now().Add(d), cancel)
+}
+func (a elimChaos) ChaosPollBatch(max int, d time.Duration, cancel <-chan struct{}) ([]int64, core.Status) {
+	return a.q.TakeBatch(nil, max, time.Now().Add(d), cancel)
+}
 
 // ---- executor pool --------------------------------------------------------
 
@@ -430,7 +492,7 @@ func (a *poolChaos) Quiesce(d time.Duration) bool {
 var coreDefs = []coreDef{
 	{
 		key: "stack", desc: "dual stack (unfair)",
-		syncPair: true, cancelable: true,
+		syncPair: true, cancelable: true, batch: true,
 		classes: []fault.Class{fault.ClassStack, fault.ClassWait},
 		build: func(cfg core.WaitConfig) chaosStruct {
 			return stackChaos{core.NewDualStack[int64](cfg)}
@@ -438,7 +500,7 @@ var coreDefs = []coreDef{
 	},
 	{
 		key: "queue", desc: "dual queue (fair)",
-		fifo: true, syncPair: true, cancelable: true,
+		fifo: true, syncPair: true, cancelable: true, batch: true,
 		classes: []fault.Class{fault.ClassQueue, fault.ClassWait},
 		build: func(cfg core.WaitConfig) chaosStruct {
 			return queueChaos{core.NewDualQueue[int64](cfg)}
@@ -446,7 +508,7 @@ var coreDefs = []coreDef{
 	},
 	{
 		key: "transfer", desc: "transfer queue (§5)",
-		fifo: true, syncPair: true, cancelable: true,
+		fifo: true, syncPair: true, cancelable: true, batch: true,
 		classes: []fault.Class{fault.ClassQueue, fault.ClassWait},
 		build: func(cfg core.WaitConfig) chaosStruct {
 			return transferChaos{core.NewTransferQueue[int64](cfg)}
@@ -460,7 +522,7 @@ var coreDefs = []coreDef{
 		// interval-sound, yet outside the per-producer FIFO property the
 		// dual queue's head-ordered fulfillment guarantees.
 		key: "seg", desc: "segmented F&A core",
-		syncPair: true, cancelable: true,
+		syncPair: true, cancelable: true, batch: true,
 		classes: []fault.Class{fault.ClassSeg, fault.ClassWait},
 		sometimesCounters: map[metrics.ID]string{
 			metrics.SegUnlinks: "segment-unlinked",
@@ -471,7 +533,7 @@ var coreDefs = []coreDef{
 	},
 	{
 		key: "sharded", desc: "sharded fabric over fair queues",
-		syncPair: true, cancelable: true,
+		syncPair: true, cancelable: true, batch: true,
 		classes: []fault.Class{fault.ClassQueue, fault.ClassShard, fault.ClassWait},
 		sometimesCounters: map[metrics.ID]string{
 			metrics.ShardSteals: "cross-shard-steal",
@@ -485,7 +547,7 @@ var coreDefs = []coreDef{
 	},
 	{
 		key: "elim", desc: "adaptive elimination over fair queue",
-		syncPair: true, cancelable: true,
+		syncPair: true, cancelable: true, batch: true,
 		classes: []fault.Class{fault.ClassQueue, fault.ClassExchanger, fault.ClassWait},
 		sometimesCounters: map[metrics.ID]string{
 			metrics.ElimHits: "elimination-fires",

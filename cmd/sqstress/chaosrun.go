@@ -142,6 +142,9 @@ func registerProperties(rc *runCtx) {
 	if rc.core.cancelable {
 		rc.suite.Sometimes(propCancelRace)
 	}
+	if rc.core.batch {
+		rc.suite.Sometimes(propBatchPartial)
+	}
 	for _, prop := range rc.core.sometimesCounters {
 		rc.suite.Sometimes(prop)
 	}
@@ -244,6 +247,9 @@ func runChaosMatrix(o chaosOptions) (*props.Report, bool) {
 					continue
 				}
 				if sc.execOnly && !c.executor {
+					continue
+				}
+				if sc.batchOnly && !c.batch {
 					continue
 				}
 				fmt.Fprintf(o.out, "chaos %-20s %s\n", label, sc.name)

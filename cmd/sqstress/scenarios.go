@@ -35,7 +35,13 @@ const (
 	propCancelRace   = "cancel-races-fulfill"
 	propExecLedger   = "executor-ledger"
 	propDrainForce   = "drain-reaches-force"
+	propBatchPartial = "batch-partial-unwind"
 )
+
+// chaosBatchMax is the largest batch the workload engine offers or polls
+// in one operation; it widens the legal conservation slack, since one
+// in-flight worker can now carry that many uncounted values.
+const chaosBatchMax = 4
 
 // Workload bounds: how long the engine waits for workers to return after
 // stop/Close before declaring a stranded waiter, and the drain patience.
@@ -55,7 +61,11 @@ type scenarioDef struct {
 	// machinery (deadline shedding, graceful drain); they run only
 	// against executor cores.
 	execOnly bool
-	run      func(rc *runCtx, dur time.Duration)
+	// batchOnly marks scenarios that exercise the batched surface
+	// directly; they run only against cores whose adapter implements
+	// chaosBatcher.
+	batchOnly bool
+	run       func(rc *runCtx, dur time.Duration)
 }
 
 // scenarioLib is the library, in run order.
@@ -148,6 +158,12 @@ var scenarioLib = []scenarioDef{
 		},
 	},
 	{
+		name:      "batch-partial",
+		desc:      "one consumer against a larger batch: the offer must deliver a prefix-exact partial fill and unwind the rest",
+		batchOnly: true,
+		run:       runBatchPartial,
+	},
+	{
 		name:     "overload",
 		desc:     "admission overload: µs-deadline chaff sheds at dispatch while real traffic flows",
 		execOnly: true,
@@ -204,6 +220,7 @@ type scenarioState struct {
 	name    string
 	workers int64 // peak concurrent workload goroutines (for slack)
 	slackHi int64 // legal offered-delivered gap mid-run
+	slackLo int64 // legal gap the other way (takes counted before puts)
 	rec     *verify.Recorder
 	// adapter is the structure instance under test, for properties that
 	// read structure-side ledgers (the executor-ledger check).
@@ -226,10 +243,17 @@ type scenarioState struct {
 
 func newScenarioState(rc *runCtx, name string, nworkers int) *scenarioState {
 	workers := int64(nworkers)
+	// One in-flight operation normally carries one uncounted value; on a
+	// batch-capable core it can carry up to chaosBatchMax of them.
+	perOp := int64(1)
+	if rc.core.batch {
+		perOp = chaosBatchMax
+	}
 	return &scenarioState{
 		name:    name,
 		workers: workers,
-		slackHi: workers + 2 + rc.core.buffered,
+		slackHi: workers*perOp + 2 + rc.core.buffered,
+		slackLo: workers*perOp + 2,
 		rec:     verify.NewRecorder(),
 	}
 }
@@ -247,9 +271,9 @@ func (st *scenarioState) conservationCheck(final bool) error {
 		// A take can be counted before its put's +1 lands (the producer
 		// is between the adapter returning OK and the counter update),
 		// so the legal imbalance is symmetric in the worker count.
-		if gap := st.inflight.Load(); gap > st.slackHi || gap < -(st.workers+2) {
+		if gap := st.inflight.Load(); gap > st.slackHi || gap < -st.slackLo {
 			return fmt.Errorf("%s: offered/delivered gap %d exceeds in-flight slack [%d,%d]",
-				st.name, gap, -(st.workers + 2), st.slackHi)
+				st.name, gap, -st.slackLo, st.slackHi)
 		}
 		return nil
 	}
@@ -460,6 +484,7 @@ func (rc *runCtx) producerLoop(wg *sync.WaitGroup, st *scenarioState, adapter ch
 	id := rc.nextProducer.Add(1)
 	rng := rand.New(rand.NewPCG(rc.seed, uint64(id)))
 	log := st.rec.NewThread()
+	batcher, _ := adapter.(chaosBatcher)
 	for seq := int64(0); ; seq++ {
 		select {
 		case <-stop:
@@ -471,15 +496,45 @@ func (rc *runCtx) producerLoop(wg *sync.WaitGroup, st *scenarioState, adapter ch
 			time.Sleep(100 * time.Microsecond)
 			continue
 		}
-		if tune.opsPerWorker > 0 && seq == int64(tune.opsPerWorker) {
+		// A batch consumes several sequence numbers, so the churn check
+		// must catch the budget being jumped over, not just hit exactly.
+		if tune.opsPerWorker > 0 && seq >= int64(tune.opsPerWorker) {
 			// Churn: retire this goroutine and respawn the slot.
 			wg.Add(1)
 			go rc.producerLoop(wg, st, adapter, slot, tune, phase, stop)
 			return
 		}
-		v := id<<40 | seq
 		patience := tune.producerPatience(rng)
 		cancel, raced := armCancel(rng, tune.cancelAfter)
+		if rc.core.batch && rng.IntN(6) == 0 {
+			// Multi-item offer. Values keep the producer tag and ascending
+			// sequence low bits, so the FIFO checker can order them even
+			// though every item logs the operation's single interval.
+			k := 2 + rng.IntN(chaosBatchMax-1)
+			orig := make([]int64, k)
+			for j := range orig {
+				orig[j] = id<<40 | (seq + int64(j))
+			}
+			vs := append([]int64(nil), orig...)
+			inv := log.Begin()
+			n, stStatus := batcher.ChaosOfferBatch(vs, patience, cancel)
+			// The partial-fill contract: vs[n:] is exactly the undelivered
+			// set (the core may have compacted it), so delivery per item is
+			// decided by membership, not by position.
+			und := make(map[int64]bool, k-n)
+			for _, u := range vs[n:] {
+				und[u] = true
+			}
+			for _, v := range orig {
+				log.End(verify.Put, v, inv, !und[v])
+			}
+			seq += int64(k - 1)
+			if rc.noteBatchOffer(st, n, k, stStatus, raced) {
+				return
+			}
+			continue
+		}
+		v := id<<40 | seq
 		inv := log.Begin()
 		stStatus := adapter.ChaosOffer(v, patience, cancel)
 		log.End(verify.Put, v, inv, stStatus == core.OK)
@@ -495,6 +550,7 @@ func (rc *runCtx) consumerLoop(wg *sync.WaitGroup, st *scenarioState, adapter ch
 	id := rc.nextProducer.Add(1) // distinct PRNG stream, never tags values
 	rng := rand.New(rand.NewPCG(rc.seed+1<<32, uint64(id)))
 	log := st.rec.NewThread()
+	batcher, _ := adapter.(chaosBatcher)
 	for ops := 0; ; ops++ {
 		select {
 		case <-stop:
@@ -506,7 +562,7 @@ func (rc *runCtx) consumerLoop(wg *sync.WaitGroup, st *scenarioState, adapter ch
 			time.Sleep(100 * time.Microsecond)
 			continue
 		}
-		if tune.opsPerWorker > 0 && ops == tune.opsPerWorker {
+		if tune.opsPerWorker > 0 && ops >= tune.opsPerWorker {
 			wg.Add(1)
 			go rc.consumerLoop(wg, st, adapter, slot, tune, phase, stop)
 			return
@@ -516,6 +572,24 @@ func (rc *runCtx) consumerLoop(wg *sync.WaitGroup, st *scenarioState, adapter ch
 		}
 		patience := tune.consumerPatience(rng)
 		cancel, raced := armCancel(rng, tune.cancelAfter)
+		if rc.core.batch && rng.IntN(6) == 0 {
+			// Multi-item poll: waits for the first value, fills the rest
+			// from committed producers. Every received value logs with the
+			// operation's single interval.
+			max := 2 + rng.IntN(chaosBatchMax-1)
+			inv := log.Begin()
+			buf, stStatus := batcher.ChaosPollBatch(max, patience, cancel)
+			if len(buf) == 0 {
+				log.End(verify.Take, 0, inv, false)
+			}
+			for _, v := range buf {
+				log.End(verify.Take, v, inv, true)
+			}
+			if rc.noteBatchPoll(st, len(buf), stStatus, raced) {
+				return
+			}
+			continue
+		}
 		inv := log.Begin()
 		v, stStatus := adapter.ChaosPoll(patience, cancel)
 		log.End(verify.Take, v, inv, stStatus == core.OK)
@@ -553,6 +627,55 @@ func (rc *runCtx) noteOutcome(st *scenarioState, status core.Status, isPut bool,
 			// The cancel fuse blew while the operation was in flight,
 			// yet it still paired: a cancel raced a fulfill and the
 			// fulfill won.
+			rc.suite.Observe(propCancelRace)
+		}
+	case core.Timeout:
+		rc.suite.Observe(propTimeout)
+	case core.Closed:
+		rc.suite.Observe(propCloseReject)
+		return true
+	}
+	return false
+}
+
+// noteBatchOffer updates counters and sometimes-evidence for one completed
+// multi-item offer that delivered n of k items; it reports whether the
+// worker should exit (structure closed). A partial fill cut short by
+// timeout, cancellation, or close is the evidence for batch-partial-unwind:
+// the run was claimed, some positions paired, and the rest were reclaimed.
+func (rc *runCtx) noteBatchOffer(st *scenarioState, n, k int, status core.Status, raced func() bool) (exit bool) {
+	if n > 0 {
+		st.offered.Add(int64(n))
+		st.inflight.Add(int64(n))
+	}
+	if n > 0 && n < k && status != core.OK {
+		rc.suite.Observe(propBatchPartial)
+	}
+	switch status {
+	case core.OK:
+		if raced() {
+			rc.suite.Observe(propCancelRace)
+		}
+	case core.Timeout:
+		rc.suite.Observe(propTimeout)
+	case core.Closed:
+		rc.suite.Observe(propCloseReject)
+		return true
+	}
+	return false
+}
+
+// noteBatchPoll is noteBatchOffer's consumer-side twin for a poll that
+// received got values. Closed may legally accompany a non-empty partial
+// fill (the close landed mid-batch); the values count all the same.
+func (rc *runCtx) noteBatchPoll(st *scenarioState, got int, status core.Status, raced func() bool) (exit bool) {
+	if got > 0 {
+		st.delivered.Add(int64(got))
+		st.inflight.Add(int64(-got))
+	}
+	switch status {
+	case core.OK:
+		if raced() {
 			rc.suite.Observe(propCancelRace)
 		}
 	case core.Timeout:
@@ -631,6 +754,59 @@ func runDrainStorm(rc *runCtx, dur time.Duration) {
 			rc.suite.Observe(propDrainForce)
 		}
 	})
+}
+
+// runBatchPartial is the deterministic partial-fill scenario: one consumer
+// with generous patience against a 3-item offer with a short fuse. Exactly
+// one item pairs; the offer must report (1, Timeout), hand back the two
+// undelivered items in the retry slice, and leave nothing pollable — the
+// multi-cell unwind path runs on every cycle rather than waiting for the
+// random workload to stumble into it.
+func runBatchPartial(rc *runCtx, dur time.Duration) {
+	_ = dur // three fixed cycles; each is bounded by its own patiences
+	const cycles = 3
+	for i := 0; i < cycles; i++ {
+		adapter := rc.build()
+		batcher := adapter.(chaosBatcher)
+		st := newScenarioState(rc, fmt.Sprintf("batch-partial/%d", i), 2)
+		st.adapter = adapter
+		rc.state.Store(st)
+
+		id := rc.nextProducer.Add(1)
+		clog := st.rec.NewThread()
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			inv := clog.Begin()
+			v, status := adapter.ChaosPoll(200*time.Millisecond, nil)
+			clog.End(verify.Take, v, inv, status == core.OK)
+			if status == core.OK {
+				st.delivered.Add(1)
+				st.inflight.Add(-1)
+			}
+		}()
+
+		orig := []int64{id << 40, id<<40 | 1, id<<40 | 2}
+		vs := append([]int64(nil), orig...)
+		log := st.rec.NewThread()
+		inv := log.Begin()
+		n, status := batcher.ChaosOfferBatch(vs, 40*time.Millisecond, nil)
+		und := make(map[int64]bool, len(vs)-n)
+		for _, u := range vs[n:] {
+			und[u] = true
+		}
+		for _, v := range orig {
+			log.End(verify.Put, v, inv, !und[v])
+		}
+		rc.noteBatchOffer(st, n, len(orig), status, func() bool { return false })
+
+		<-done
+		rc.drain(st, adapter)
+		adapter.Close()
+		st.finalize(rc.core.fifo)
+		rc.suite.CheckAlways(true)
+		rc.state.Store(nil)
+	}
 }
 
 // runBurstOpenClose is the open/close-cycle scenario: several short

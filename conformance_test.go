@@ -1,6 +1,8 @@
 package synchq_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -180,6 +182,214 @@ func TestConformanceTimedRace(t *testing.T) {
 				t.Fatalf("straggler value %d after balanced timed race", v)
 			}
 		})
+	}
+}
+
+// batchAPI narrows every batch-capable surface (SynchronousQueue with any
+// option set, TransferQueue, EliminatingQueue) to one shape so a single
+// contract suite runs over all of them.
+type batchAPI struct {
+	putAllCtx    func(ctx context.Context, items []int) (int, error)
+	takeBatchCtx func(ctx context.Context, max int) ([]int, error)
+	drainTo      func(buf []int, max int) []int
+	take         func() int
+	put          func(v int) // synchronous single put, for committed-producer setup
+	close        func()
+	// fifo marks cores whose in-batch FIFO holds end to end (fair and
+	// unsharded); a sharded queue keeps it only per shard.
+	fifo bool
+}
+
+func batchImpls() map[string]func() batchAPI {
+	mkSQ := func(fifo bool, opts ...synchq.Option) func() batchAPI {
+		return func() batchAPI {
+			q := synchq.New[int](opts...)
+			return batchAPI{
+				putAllCtx:    q.PutAllContext,
+				takeBatchCtx: q.TakeBatchContext,
+				drainTo:      q.DrainTo,
+				take:         q.Take,
+				put:          q.Put,
+				close:        q.Close,
+				fifo:         fifo,
+			}
+		}
+	}
+	return map[string]func() batchAPI{
+		"fair":              mkSQ(true, synchq.Fair(true)),
+		"unfair":            mkSQ(false),
+		"segmented":         mkSQ(true, synchq.Segmented()),
+		"fair+sharded":      mkSQ(false, synchq.Fair(true), synchq.Sharded(4)),
+		"unfair+sharded":    mkSQ(false, synchq.Sharded(4)),
+		"segmented+sharded": mkSQ(false, synchq.Segmented(), synchq.Sharded(4)),
+		"eliminating": func() batchAPI {
+			e := synchq.NewEliminating(synchq.NewFair[int](), 2, 20*time.Microsecond)
+			return batchAPI{
+				putAllCtx:    e.PutAllContext,
+				takeBatchCtx: e.TakeBatchContext,
+				drainTo:      e.DrainTo,
+				take:         e.Take,
+				put:          e.Put,
+				close:        e.Close,
+				fifo:         true,
+			}
+		},
+		"transfer": func() batchAPI {
+			q := synchq.NewTransferQueue[int]()
+			return batchAPI{
+				putAllCtx:    q.TransferAllContext,
+				takeBatchCtx: q.TakeBatchContext,
+				drainTo: func(buf []int, max int) []int {
+					buf, _ = q.DrainTo(buf, max)
+					return buf
+				},
+				take:  q.Take,
+				put:   q.Transfer,
+				close: q.Close,
+				fifo:  true,
+			}
+		},
+	}
+}
+
+// TestConformanceBatchContract runs the shared batch contract over every
+// batch-capable core × option combination: empty-slice and max=0 no-ops,
+// partial fill on timeout and on cancellation, ErrClosed with the partial
+// fill preserved, bulk drain of committed producers, and in-batch FIFO on
+// the cores that promise it.
+func TestConformanceBatchContract(t *testing.T) {
+	for name, mk := range batchImpls() {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			t.Run("empty-noop", func(t *testing.T) {
+				q := mk()
+				// No consumer anywhere: these must return immediately.
+				if n, err := q.putAllCtx(context.Background(), nil); n != 0 || err != nil {
+					t.Fatalf("PutAll(nil) = (%d, %v), want (0, nil)", n, err)
+				}
+				if buf, err := q.takeBatchCtx(context.Background(), 0); len(buf) != 0 || err != nil {
+					t.Fatalf("TakeBatch(max=0) = (%v, %v), want ([], nil)", buf, err)
+				}
+				if buf := q.drainTo(nil, 5); len(buf) != 0 {
+					t.Fatalf("DrainTo on empty queue = %v, want []", buf)
+				}
+			})
+			t.Run("partial-fill-timeout", func(t *testing.T) {
+				q := mk()
+				got := make(chan int, 1)
+				go func() { got <- q.take() }()
+				ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+				defer cancel()
+				n, err := q.putAllCtx(ctx, []int{1, 2, 3})
+				if n != 1 || !errors.Is(err, synchq.ErrTimeout) {
+					t.Fatalf("PutAllContext = (%d, %v), want (1, ErrTimeout)", n, err)
+				}
+				if v := <-got; v != 1 {
+					t.Fatalf("consumer got %d, want the batch's first item 1", v)
+				}
+			})
+			t.Run("partial-fill-cancel", func(t *testing.T) {
+				q := mk()
+				ctx, cancel := context.WithCancel(context.Background())
+				cancel()
+				n, err := q.putAllCtx(ctx, []int{1, 2, 3})
+				if n != 0 || !errors.Is(err, context.Canceled) {
+					t.Fatalf("PutAllContext on canceled ctx = (%d, %v), want (0, context.Canceled)", n, err)
+				}
+			})
+			t.Run("closed-keeps-partial-fill", func(t *testing.T) {
+				q := mk()
+				res := make(chan int, 1)
+				errs := make(chan error, 1)
+				go func() {
+					n, err := q.putAllCtx(context.Background(), []int{1, 2, 3})
+					res <- n
+					errs <- err
+				}()
+				if v := q.take(); v != 1 {
+					t.Fatalf("Take = %d, want 1", v)
+				}
+				q.close()
+				if n, err := <-res, <-errs; n != 1 || !errors.Is(err, synchq.ErrClosed) {
+					t.Fatalf("PutAllContext across Close = (%d, %v), want (1, ErrClosed)", n, err)
+				}
+				// And the take side: a closed empty queue reports ErrClosed
+				// with nothing taken.
+				if buf, err := q.takeBatchCtx(context.Background(), 2); len(buf) != 0 || !errors.Is(err, synchq.ErrClosed) {
+					t.Fatalf("TakeBatchContext on closed = (%v, %v), want ([], ErrClosed)", buf, err)
+				}
+			})
+			t.Run("drainto-committed-producers", func(t *testing.T) {
+				q := mk()
+				var wg sync.WaitGroup
+				for v := 1; v <= 3; v++ {
+					wg.Add(1)
+					go func(v int) {
+						defer wg.Done()
+						q.put(v)
+					}(v)
+				}
+				var buf []int
+				deadline := time.Now().Add(5 * time.Second)
+				for len(buf) < 3 && time.Now().Before(deadline) {
+					buf = q.drainTo(buf, 3-len(buf))
+				}
+				wg.Wait()
+				seen := map[int]bool{}
+				for _, v := range buf {
+					if seen[v] {
+						t.Fatalf("value %d drained twice", v)
+					}
+					seen[v] = true
+				}
+				if len(seen) != 3 {
+					t.Fatalf("drained %v, want 3 distinct committed producers", buf)
+				}
+			})
+			if q := mk(); q.fifo {
+				t.Run("fifo-within-batch", func(t *testing.T) {
+					q := mk()
+					const n = 10
+					items := make([]int, n)
+					for i := range items {
+						items[i] = i
+					}
+					done := make(chan struct{})
+					go func() {
+						defer close(done)
+						if d, err := q.putAllCtx(context.Background(), items); d != n || err != nil {
+							t.Errorf("PutAllContext = (%d, %v), want (%d, nil)", d, err, n)
+						}
+					}()
+					for i := 0; i < n; i++ {
+						if v := q.take(); v != i {
+							t.Fatalf("take %d = %d, want %d (in-batch FIFO violated)", i, v, i)
+						}
+					}
+					<-done
+				})
+			}
+		})
+	}
+}
+
+// TestTransferBatchClosedDrain pins the transfer queue's batch forms of
+// the closed-drain promise: buffered deposits made before Close keep
+// flowing out of TakeBatch and DrainTo, and ErrClosed appears only when
+// (and alongside what) the buffer finally yields.
+func TestTransferBatchClosedDrain(t *testing.T) {
+	q := synchq.NewTransferQueue[int]()
+	q.PutAll([]int{1, 2, 3})
+	q.Close()
+	buf, err := q.TakeBatchContext(context.Background(), 5)
+	if !errors.Is(err, synchq.ErrClosed) {
+		t.Fatalf("TakeBatchContext err = %v, want ErrClosed once the buffer ran dry", err)
+	}
+	if len(buf) != 3 || buf[0] != 1 || buf[1] != 2 || buf[2] != 3 {
+		t.Fatalf("TakeBatchContext kept %v, want the buffered deposits [1 2 3]", buf)
+	}
+	if buf, err := q.DrainTo(nil, 5); len(buf) != 0 || !errors.Is(err, synchq.ErrClosed) {
+		t.Fatalf("DrainTo after full drain = (%v, %v), want ([], ErrClosed)", buf, err)
 	}
 }
 

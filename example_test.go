@@ -79,6 +79,19 @@ func ExampleTransferQueue() {
 	// sync: waits for the consumer
 }
 
+// PutAll deposits a whole burst with a single tail splice, and TakeBatch
+// drains it with one wait for the first value plus a no-wait fill for the
+// rest — the batched stage shape used in examples/pipeline.
+func ExampleTransferQueue_PutAll() {
+	q := synchq.NewTransferQueue[string]()
+	q.PutAll([]string{"a", "b", "c", "d"}) // one burst, one splice
+	fmt.Println("batch:", q.TakeBatch(3))  // waits for the first, fills the rest
+	fmt.Println("rest:", q.TakeBatch(3))
+	// Output:
+	// batch: [a b c]
+	// rest: [d]
+}
+
 // Two goroutines swap values through an Exchanger.
 func ExampleExchanger() {
 	x := synchq.NewExchanger[string]()

@@ -4,7 +4,12 @@
 // Three stages — tokenize, transform, emit — are connected by fair
 // synchronous queues, so the pipeline has zero internal buffering: a stage
 // finishing an item hands it directly to the next stage and observes
-// backpressure immediately. A context cancels the whole pipeline
+// backpressure immediately. The tokenizer is a batched stage: it hands the
+// whole token burst over with one PutAllContext call (the items still
+// rendezvous with the transformer one by one — batching amortizes the
+// producer's claim-and-wait machinery, it does not introduce a buffer),
+// and the emitter drains with TakeBatchContext, waiting only for the
+// first item of each batch. A context cancels the whole pipeline
 // mid-stream, demonstrating the cancellation-aware operations; the
 // shutdown is clean because no element can be stranded in a buffer.
 //
@@ -30,14 +35,13 @@ func main() {
 
 	done := make(chan struct{})
 
-	// Stage 1: tokenize a document and hand each word off.
+	// Stage 1: tokenize a document and hand the whole burst off with one
+	// batched call. On a partial fill the error reports how far it got and
+	// the retry slice holds the rest — here cancellation just ends the run.
 	go func() {
 		text := "the quick brown fox jumps over the lazy dog and keeps running forever"
-		for _, w := range strings.Fields(text) {
-			if err := words.PutContext(ctx, w); err != nil {
-				fmt.Println("tokenizer: stopping:", err)
-				return
-			}
+		if n, err := words.PutAllContext(ctx, strings.Fields(text)); err != nil {
+			fmt.Printf("tokenizer: stopping after %d words: %v\n", n, err)
 		}
 	}()
 
@@ -57,16 +61,22 @@ func main() {
 		}
 	}()
 
-	// Stage 3: emit the first eight results, then cancel everything.
+	// Stage 3: emit the first eight results in batches — each TakeBatch
+	// waits for one value and sweeps up whatever else is already committed
+	// — then cancel everything.
 	go func() {
 		defer close(done)
-		for i := 0; i < 8; i++ {
-			s, err := shouts.TakeContext(ctx)
+		emitted := 0
+		for emitted < 8 {
+			batch, err := shouts.TakeBatchContext(ctx, 8-emitted)
 			if err != nil {
 				fmt.Println("emitter: stopping:", err)
 				return
 			}
-			fmt.Printf("emit %d: %s\n", i+1, s)
+			for _, s := range batch {
+				emitted++
+				fmt.Printf("emit %d: %s\n", emitted, s)
+			}
 		}
 		fmt.Println("emitter: done — cancelling the rest of the stream")
 		cancel()

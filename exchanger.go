@@ -387,6 +387,32 @@ func (e *EliminatingQueue[T]) HasWaitingProducer() bool { return e.q.HasWaitingP
 // waiting producers or consumers.
 func (e *EliminatingQueue[T]) IsEmpty() bool { return e.q.IsEmpty() }
 
+// PutAll transfers every item to consumers through the backing queue,
+// bypassing the elimination arena: an arena exchange pairs exactly one
+// producer with one consumer, so a k-item burst gains nothing from it,
+// while the backing queue's batch path amortizes the per-item claims.
+func (e *EliminatingQueue[T]) PutAll(items []T) { e.q.PutAll(items) }
+
+// PutAllContext transfers items through the backing queue until ctx is
+// done; see SynchronousQueue.PutAllContext for the partial-fill contract.
+func (e *EliminatingQueue[T]) PutAllContext(ctx context.Context, items []T) (int, error) {
+	return e.q.PutAllContext(ctx, items)
+}
+
+// TakeBatch receives up to max values through the backing queue (the
+// arena is bypassed; see PutAll).
+func (e *EliminatingQueue[T]) TakeBatch(max int) []T { return e.q.TakeBatch(max) }
+
+// TakeBatchContext receives up to max values through the backing queue
+// until ctx is done.
+func (e *EliminatingQueue[T]) TakeBatchContext(ctx context.Context, max int) ([]T, error) {
+	return e.q.TakeBatchContext(ctx, max)
+}
+
+// DrainTo appends up to max immediately available values to buf without
+// waiting, through the backing queue.
+func (e *EliminatingQueue[T]) DrainTo(buf []T, max int) []T { return e.q.DrainTo(buf, max) }
+
 // Close shuts the underlying queue down (see SynchronousQueue.Close).
 // Arena waiters are not woken: every arena attempt is patience-bounded to
 // microseconds, after which the party falls through to the queue and

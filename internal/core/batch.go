@@ -1,0 +1,280 @@
+package core
+
+import (
+	"time"
+
+	"synchq/internal/fault"
+	"synchq/internal/metrics"
+)
+
+// This file is the batched-operation layer of the two dual structures and
+// the transfer queue.
+//
+// The per-node cores have no multi-slot claim to exploit — every hand-off
+// is one CAS-visible node — so their PutBatch/TakeBatch are the documented
+// loop-with-single-arrival fallback: the batch contract (ordering, partial
+// fill, status reporting) without the amortization. The segmented core
+// (internal/segq) overrides both with a true multi-cell claim.
+//
+// The one native batch path a linked structure does offer is the producer
+// side of the TransferQueue: asynchronous deposits need no per-item
+// rendezvous, so a burst can be assembled as a private chain of data nodes
+// in local memory and published with a single tail splice — one CAS for k
+// items instead of k tail CASes. PutAllAsync below implements it.
+
+// batchPut abstracts one side of the loop fallback.
+type batchPut[T any] func(T, time.Time, <-chan struct{}) Status
+
+type batchTake[T any] func(time.Time, <-chan struct{}) (T, Status)
+
+// putBatchLoop transfers items in order through a single-item operation.
+// It returns the number delivered and OK when every item transferred; a
+// non-OK status reports why the batch stopped early (the returned count is
+// the partial fill).
+func putBatchLoop[T any](put batchPut[T], items []T, deadline time.Time, cancel <-chan struct{}) (int, Status) {
+	for n, v := range items {
+		if st := put(v, deadline, cancel); st != OK {
+			return n, st
+		}
+	}
+	return len(items), OK
+}
+
+// takeBatchLoop appends up to max received values to buf: the first take
+// waits until the deadline (so an already-expired deadline makes the whole
+// batch a pure poll burst), every subsequent take is non-blocking. The
+// returned status is OK when the batch ended normally (max reached, or
+// nothing more immediately available), Timeout/Canceled when the wait for
+// the first value aborted with nothing taken, and Closed when the
+// structure shut down — values already appended stay in buf.
+func takeBatchLoop[T any](take batchTake[T], buf []T, max int, deadline time.Time, cancel <-chan struct{}) ([]T, Status) {
+	if max <= 0 {
+		return buf, OK
+	}
+	v, st := take(deadline, cancel)
+	if st != OK {
+		return buf, st
+	}
+	buf = append(buf, v)
+	for taken := 1; taken < max; taken++ {
+		v, st := take(deadlineFor(0), nil)
+		if st == Closed {
+			return buf, Closed
+		}
+		if st != OK {
+			break
+		}
+		buf = append(buf, v)
+	}
+	return buf, OK
+}
+
+// PutBatch transfers items in order, each waiting for its own consumer
+// under the shared deadline — the loop-with-single-arrival fallback (see
+// the file comment). It returns the count delivered and OK when all of
+// items transferred.
+func (q *DualQueue[T]) PutBatch(items []T, deadline time.Time, cancel <-chan struct{}) (int, Status) {
+	return putBatchLoop(q.PutDeadline, items, deadline, cancel)
+}
+
+// TakeBatch appends up to max values to buf: it waits for the first under
+// the deadline, then opportunistically claims already-committed producers
+// without waiting. See takeBatchLoop for the status contract.
+func (q *DualQueue[T]) TakeBatch(buf []T, max int, deadline time.Time, cancel <-chan struct{}) ([]T, Status) {
+	return takeBatchLoop(q.TakeDeadline, buf, max, deadline, cancel)
+}
+
+// PutBatch is the dual stack's loop-with-single-arrival batch fallback,
+// with the same contract as the queue's. Within one batch the items are
+// still delivered in slice order (each put completes before the next
+// begins); LIFO pairing only decides which waiting consumer gets each one.
+func (q *DualStack[T]) PutBatch(items []T, deadline time.Time, cancel <-chan struct{}) (int, Status) {
+	return putBatchLoop(q.PutDeadline, items, deadline, cancel)
+}
+
+// TakeBatch is the dual stack's batch fill; see takeBatchLoop.
+func (q *DualStack[T]) TakeBatch(buf []T, max int, deadline time.Time, cancel <-chan struct{}) ([]T, Status) {
+	return takeBatchLoop(q.TakeDeadline, buf, max, deadline, cancel)
+}
+
+// PutAllAsync deposits items asynchronously as one burst — the batched
+// form of PutAsync. Consumers already waiting are fulfilled directly, in
+// order, from the front of the batch; the remainder is assembled as a
+// privately linked chain of async data nodes and published with a single
+// tail-splice CAS, so k buffered deposits cost one linearization point
+// instead of k.
+//
+// It returns the number of items accepted and OK, or Closed when the queue
+// was shut down before the remainder could be deposited (like PutAsync,
+// nothing is accepted into a closed queue; items already handed to waiting
+// consumers before the close are counted and stay delivered).
+func (q *DualQueue[T]) PutAllAsync(items []T) (int, Status) {
+	if len(items) == 0 {
+		return 0, OK
+	}
+	idx := 0
+	// first..last is the not-yet-published chain for items[idx:]; box is a
+	// peeled item box awaiting a direct fulfillment. All local until the
+	// splice CAS publishes the chain.
+	var first, last *qnode[T]
+	var box *qitem[T]
+	for {
+		t := q.tail.Load()
+		h := q.head.Load()
+
+		if h == t || t.isData {
+			// Empty or data mode: splice the whole remainder at the tail.
+			tn := t.next.Load()
+			if t != q.tail.Load() {
+				continue
+			}
+			if tn != nil {
+				q.tail.CompareAndSwap(t, tn) // help lagging tail
+				q.m.Inc(metrics.HelpCollisions)
+				continue
+			}
+			if q.closed.Load() {
+				q.recycleChain(first, box)
+				return idx, Closed
+			}
+			if box != nil {
+				// A box peeled for a consumer that vanished: re-head the
+				// chain with a fresh node so the splice carries it.
+				n := q.getNode(true, true)
+				n.item.Store(box)
+				n.next.Store(first)
+				if first == nil {
+					last = n
+				}
+				first, box = n, nil
+			}
+			if first == nil {
+				first, last = q.buildChain(items[idx:])
+			}
+			q.f.Preempt(fault.QCloseRacePause)
+			if q.f.FailCAS(fault.QEnqueueCAS) || !t.next.CompareAndSwap(nil, first) {
+				q.m.Inc(metrics.CASFailEnqueue)
+				continue
+			}
+			q.tail.CompareAndSwap(t, last)
+			q.m.Add(metrics.AsyncDeposits, int64(len(items)-idx))
+			return len(items), OK
+		}
+
+		// Reservation mode: hand the next item straight to the oldest
+		// waiting consumer, exactly as the single-item fulfill arm does.
+		m := h.next.Load()
+		if t != q.tail.Load() || m == nil || h != q.head.Load() {
+			continue
+		}
+		if q.f.FailCAS(fault.QFulfillCAS) {
+			q.m.Inc(metrics.CASFailFulfill)
+			continue
+		}
+		if box == nil {
+			if first != nil {
+				// Peel the chain's head node: it was never published, so
+				// its box can fulfill directly and the node is a spare.
+				n := first
+				first = n.next.Load()
+				if first == nil {
+					last = nil
+				}
+				n.next.Store(nil)
+				box = n.item.Load()
+				q.putSpare(n)
+			} else {
+				box = q.getBox(items[idx])
+			}
+		}
+		x := m.item.Load()
+		if x != nil || q.isDead(x) || !m.item.CompareAndSwap(x, box) {
+			// m was already fulfilled, canceled, or we lost the race:
+			// dequeue it and retry with the same box.
+			q.m.Inc(metrics.CASFailFulfill)
+			q.advanceHead(h, m)
+			continue
+		}
+		q.m.Inc(metrics.Fulfillments)
+		q.f.Preempt(fault.QFulfillPause)
+		q.advanceHead(h, m)
+		if p := m.waiter.Load(); p != nil {
+			p.Unpark()
+		}
+		box = nil
+		idx++
+		if idx == len(items) {
+			return idx, OK
+		}
+	}
+}
+
+// buildChain assembles a private chain of async data nodes for items,
+// returning its head and tail. The chain is entirely local memory — no
+// other thread can observe it — until the caller's splice CAS publishes
+// the head.
+func (q *DualQueue[T]) buildChain(items []T) (first, last *qnode[T]) {
+	for _, v := range items {
+		n := q.getNode(true, true)
+		n.item.Store(q.getBox(v))
+		if first == nil {
+			first = n
+		} else {
+			last.next.Store(n)
+		}
+		last = n
+	}
+	return first, last
+}
+
+// recycleChain returns a never-published chain (and a peeled box, if any)
+// to the pools. Chain nodes were never linked into the queue, so reuse is
+// ABA-free; their next words are scrubbed before pooling because getNode
+// promises pristine links.
+func (q *DualQueue[T]) recycleChain(first *qnode[T], box *qitem[T]) {
+	q.putBox(box)
+	for n := first; n != nil; {
+		next := n.next.Load()
+		n.next.Store(nil)
+		q.putBox(n.item.Load())
+		q.putSpare(n)
+		n = next
+	}
+}
+
+// PutAll deposits items asynchronously as one burst: waiting consumers are
+// served in order from the front, the rest is linked in with a single tail
+// splice. See DualQueue.PutAllAsync for the status contract.
+func (t *TransferQueue[T]) PutAll(items []T) (int, Status) {
+	return t.q.PutAllAsync(items)
+}
+
+// TransferBatch hands items to consumers synchronously, in order, under
+// one shared deadline; it returns the count transferred and OK when all of
+// items were taken.
+func (t *TransferQueue[T]) TransferBatch(items []T, deadline time.Time, cancel <-chan struct{}) (int, Status) {
+	return t.q.PutBatch(items, deadline, cancel)
+}
+
+// TakeBatch appends up to max values to buf, waiting for the first under
+// the deadline and filling the rest from whatever is immediately available
+// (buffered deposits and waiting synchronous producers, FIFO). Like Take
+// and Poll, it keeps returning buffered deposits after Close and reports
+// Closed only once the buffer is empty.
+func (t *TransferQueue[T]) TakeBatch(buf []T, max int, deadline time.Time, cancel <-chan struct{}) ([]T, Status) {
+	return takeBatchLoop(t.q.TakeDeadline, buf, max, deadline, cancel)
+}
+
+// DrainTo appends up to max immediately available values to buf without
+// waiting: the bounded form of Drain. The status is OK when the queue
+// simply had nothing more to give, and Closed only once a closed queue's
+// buffered deposits have all been drained — an accepted deposit is a
+// promise the close keeps, so DrainTo never reports Closed while one
+// remains.
+func (t *TransferQueue[T]) DrainTo(buf []T, max int) ([]T, Status) {
+	buf, st := takeBatchLoop(t.q.TakeDeadline, buf, max, deadlineFor(0), nil)
+	if st == Timeout || st == Canceled {
+		st = OK
+	}
+	return buf, st
+}

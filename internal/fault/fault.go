@@ -136,6 +136,12 @@ const (
 	// complete its eviction sweep before the install is visible, so only
 	// the installer's post-install re-check can evict it.
 	SegCloseRacePause
+	// SegBatchPause preempts between a batched operation's multi-cell
+	// F&A claim and the per-cell resolution sweep — the window in which
+	// the reserved run straddles concurrently arriving waiters, aborts,
+	// and the Close eviction sweep, so the partial-fill unwind must
+	// reconcile cells that changed state while the run was frozen.
+	SegBatchPause
 
 	// NumSites is the number of injection sites.
 	NumSites
@@ -169,6 +175,7 @@ var siteNames = [NumSites]string{
 	SegAppendCAS:       "seg-append-cas",
 	SegResolvePause:    "seg-resolve-pause",
 	SegCloseRacePause:  "seg-close-race-pause",
+	SegBatchPause:      "seg-batch-pause",
 }
 
 // String returns the site's stable name.

@@ -85,6 +85,7 @@ var siteClasses = [NumSites]Class{
 	SegAppendCAS:       ClassSeg,
 	SegResolvePause:    ClassSeg,
 	SegCloseRacePause:  ClassSeg,
+	SegBatchPause:      ClassSeg,
 }
 
 // Class returns the structure class that queries s.

@@ -127,7 +127,18 @@ func FIFOErrors(history []Op, producer func(v int64) int64) []string {
 	}
 	var errs []string
 	for prod, ops := range byProducer {
-		sort.Slice(ops, func(i, j int) bool { return ops[i].Invoke < ops[j].Invoke })
+		// A batched put logs every item of the batch with the operation's
+		// single interval, so Invoke alone cannot order items within a
+		// batch. The harness encodes the per-producer sequence number in
+		// the value's low bits, so for one producer value order IS put
+		// order — the tie-break that keeps the inversion check sound for
+		// batches.
+		sort.Slice(ops, func(i, j int) bool {
+			if ops[i].Invoke != ops[j].Invoke {
+				return ops[i].Invoke < ops[j].Invoke
+			}
+			return ops[i].Value < ops[j].Value
+		})
 		// maxSeen tracks the latest take invocation among predecessors:
 		// any later value whose take responded before it is inverted.
 		maxSeen := takes[ops[0].Value]

@@ -43,6 +43,20 @@ func (b buffered) OfferWait(t Task, _ time.Time, _ <-chan struct{}) bool {
 	return true
 }
 
+// DrainTo appends up to max immediately available buffered tasks to buf
+// without waiting — the BatchQueue facet that lets a pool worker claim a
+// small burst of backlog in one wakeup.
+func (b buffered) DrainTo(buf []Task, max int) []Task {
+	for n := 0; n < max; n++ {
+		t, ok := b.q.TryDequeue()
+		if !ok {
+			break
+		}
+		buf = append(buf, t)
+	}
+	return buf
+}
+
 // pollSlice bounds how long PollWait commits to one uncancelable
 // DequeueTimeout leg; it is the worst-case latency for observing the
 // cancel channel while idle.

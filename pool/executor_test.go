@@ -472,3 +472,67 @@ func TestMaxPendingBoundsBacklog(t *testing.T) {
 		t.Fatalf("conservation gap %d: %+v", gap, p.Stats())
 	}
 }
+
+// TestDispatchBatchConservation pins the batched-dispatch path: with
+// DispatchBatch set, a worker that wakes for one task claims a burst of
+// backlog through the queue's DrainTo facet and runs every claimed task
+// through the normal dispatch wrapper — so under burst load the ledger
+// must balance exactly, and a poison pill swept up mid-batch must still
+// shut the worker down. Runs over both queue shapes that provide the
+// facet: the buffered work queue and a synchronous hand-off queue.
+func TestDispatchBatchConservation(t *testing.T) {
+	shapes := []struct {
+		name string
+		q    Queue
+	}{
+		{"buffered", NewBuffered()},
+		{"synchronous", newQueue()},
+	}
+	for _, shape := range shapes {
+		t.Run(shape.name, func(t *testing.T) {
+			p := New(shape.q, Config{
+				KeepAlive: 50 * time.Millisecond, MaxWorkers: 4, CoreWorkers: 2,
+				DispatchBatch: 8,
+				// The synchronous shape saturates under a 4-producer burst
+				// (no backlog to absorb it); Wait gives bounded hand-off
+				// backpressure instead of ErrSaturated.
+				OnSaturation: Wait,
+			})
+			const producers, perProducer = 4, 100
+			var ran atomic.Int64
+			var wg sync.WaitGroup
+			for i := 0; i < producers; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for j := 0; j < perProducer; j++ {
+						if err := p.Submit(func() { ran.Add(1) }); err != nil {
+							t.Errorf("submit: %v", err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			waitFor(t, "all tasks completed", func() bool {
+				return ran.Load() == producers*perProducer
+			})
+
+			p.Shutdown()
+			done := make(chan struct{})
+			go func() { p.Wait(); close(done) }()
+			select {
+			case <-done:
+			case <-time.After(5 * time.Second):
+				t.Fatal("Wait hung: a worker missed shutdown under batched dispatch")
+			}
+			st := p.Stats()
+			if st.Completed != producers*perProducer {
+				t.Fatalf("Completed = %d, want %d (stats: %+v)", st.Completed, producers*perProducer, st)
+			}
+			if gap := st.ConservationGap(); gap != 0 {
+				t.Fatalf("conservation gap %d under batched dispatch: %+v", gap, st)
+			}
+		})
+	}
+}

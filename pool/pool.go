@@ -75,6 +75,15 @@ type WaitQueue interface {
 	PollWait(deadline time.Time, cancel <-chan struct{}) (Task, bool)
 }
 
+// BatchQueue is the optional bulk facet of a queue: DrainTo appends up to
+// max immediately available tasks to buf without waiting. When the backing
+// queue provides it (synchq.SynchronousQueue[pool.Task] and the NewBuffered
+// work queue both do) and Config.DispatchBatch asks for it, a worker that
+// wakes for one task claims a small batch in the same wakeup.
+type BatchQueue interface {
+	DrainTo(buf []Task, max int) []Task
+}
+
 // Closer is the optional graceful-close facet of a queue. When the backing
 // queue provides it (every synchq structure does), a forced Drain closes
 // the queue so blocked producers and idle workers wake immediately with
@@ -153,6 +162,14 @@ type Config struct {
 	// synchq.NewMetrics().RawHandle() to share one instrumentation
 	// root between the pool and its queue.
 	Metrics *metrics.Handle
+	// DispatchBatch, when greater than one, lets a worker that woke for a
+	// task claim up to DispatchBatch-1 more immediately available tasks
+	// from the queue in the same wakeup, through the queue's BatchQueue
+	// facet — amortizing the park/unpark cycle under burst load. Zero or
+	// one (or a queue without DrainTo) keeps the one-task-per-wakeup
+	// discipline. Every batched task still passes through the normal
+	// claim/shed/execute path, so the conservation ledger is unchanged.
+	DispatchBatch int
 	// Fault, when non-nil, is queried at the pool's own injection sites
 	// (spawn race, admission, retirement) for deterministic chaos tests.
 	Fault *fault.Injector
@@ -162,7 +179,9 @@ type Config struct {
 // Construct one with New; a Pool must not be copied after first use.
 type Pool struct {
 	q         Queue
-	wq        WaitQueue // non-nil when q supports blocking cancelable ops
+	wq        WaitQueue  // non-nil when q supports blocking cancelable ops
+	bq        BatchQueue // non-nil when q supports DrainTo and batching is on
+	batch     int        // max tasks a worker claims per wakeup (>= 1)
 	keepAlive time.Duration
 	maxWorker int64
 	core      int64
@@ -242,6 +261,11 @@ func New(q Queue, cfg Config) *Pool {
 	}
 	if wq, ok := q.(WaitQueue); ok {
 		p.wq = wq
+	}
+	p.batch = 1
+	if bq, ok := q.(BatchQueue); ok && cfg.DispatchBatch > 1 {
+		p.bq = bq
+		p.batch = cfg.DispatchBatch
 	}
 	if cfg.MaxPending > 0 {
 		p.slots = make(chan struct{}, cfg.MaxPending)
@@ -589,6 +613,9 @@ func (p *Pool) trySpawn(env *taskEnv, limit int64) (bool, error) {
 // pool shuts down.
 func (p *Pool) worker(env *taskEnv) {
 	defer p.wg.Done()
+	// batch is the worker's private claim buffer, reused across wakeups so
+	// batched dispatch allocates nothing in steady state.
+	var batch []Task
 	for {
 		if env != nil {
 			p.dispatch(env)
@@ -620,6 +647,28 @@ func (p *Pool) worker(env *taskEnv) {
 			return // poison pill from Shutdown
 		}
 		t()
+		if p.bq != nil {
+			// Batched dispatch: having paid for this wakeup, claim up to
+			// DispatchBatch-1 more tasks that are immediately available and
+			// run them before polling (and possibly parking) again. Each
+			// claimed task is a dispatch wrapper, so shedding and the
+			// conservation ledger behave exactly as under single dispatch.
+			batch = p.bq.DrainTo(batch[:0], p.batch-1)
+			pill := false
+			for _, bt := range batch {
+				if bt == nil {
+					// A poison pill swept up mid-batch still means
+					// shutdown; honor it once the claimed tasks have run.
+					pill = true
+					continue
+				}
+				bt()
+			}
+			if pill {
+				p.workers.Add(-1)
+				return
+			}
+		}
 	}
 }
 

@@ -83,6 +83,8 @@ type impl[T any] interface {
 	IsEmpty() bool
 	ReserveTake() (T, core.Ticket[T], bool)
 	ReservePut(T) (core.Ticket[T], bool)
+	PutBatch([]T, time.Time, <-chan struct{}) (int, core.Status)
+	TakeBatch([]T, int, time.Time, <-chan struct{}) ([]T, core.Status)
 	Close()
 	Closed() bool
 }
