@@ -1,0 +1,40 @@
+package synchq
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// Taker A waits; taker B arrives after (node at tail), times out — the
+// dual-queue defers unlinking a tail-canceled node. PutAll then walks:
+// fulfill A, hit B's dead node, and must still deposit the remainder.
+func TestPutAllDeadTailNode(t *testing.T) {
+	q := NewTransferQueue[int]()
+	gotA := make(chan int, 1)
+	go func() {
+		gotA <- q.Take()
+	}()
+	time.Sleep(50 * time.Millisecond) // A parked at head
+
+	ctxB, cancelB := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancelB()
+	if _, err := q.TakeContext(ctxB); err == nil {
+		t.Fatal("B should time out")
+	}
+	time.Sleep(20 * time.Millisecond) // B's canceled node left at tail
+
+	n, err := q.PutAllErr([]int{10, 20, 30, 40, 50})
+	if err != nil || n != 5 {
+		t.Fatalf("PutAllErr = %d, %v", n, err)
+	}
+	a := <-gotA
+	buf, _ := q.DrainTo(nil, 10)
+	if a != 10 {
+		t.Fatalf("A got %d, want 10", a)
+	}
+	if len(buf) != 4 {
+		t.Fatalf("conservation violated: accepted 5, A got 1, drained %d (%v) — lost %d items",
+			len(buf), buf, 4-len(buf))
+	}
+}
