@@ -47,7 +47,7 @@ bench-smoke:
 # header (see bench-all).
 bench-scaling:
 	go run ./cmd/sqbench -figure scaling -transfers 3000 -repeats 2 -levels 1,4,8 \
-		-cores queue,queue+shard+elim,seg -quiet -gate
+		-cores queue,queue+shard+elim,seg,auto -quiet -gate
 
 # Batched hand-off gate: k-item batch ops vs k single ops on the two gated
 # cores (seg's multi-cell claim, transfer's burst splice), reduced to the

@@ -1,0 +1,208 @@
+package synchq
+
+// Public-API golden test: pins the exported surface of package synchq so
+// that accidental additions, removals or renames show up as a test diff
+// rather than a silent compatibility break. The golden file lists one
+// exported declaration per line — functions and methods with full
+// signatures, types, and exported struct fields / consts / vars — sorted.
+//
+// To regenerate after an intentional API change:
+//
+//	UPDATE_API_GOLDEN=1 go test -run TestPublicAPIGolden .
+//
+// and review the diff in testdata/api.golden like any other code change.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	if e == nil {
+		return ""
+	}
+	var b strings.Builder
+	printer.Fprint(&b, fset, e)
+	// Collapse any multi-line literals (e.g. interface{ ... }) so each
+	// declaration stays one golden line.
+	return strings.Join(strings.Fields(b.String()), " ")
+}
+
+func fieldListString(fset *token.FileSet, fl *ast.FieldList) string {
+	if fl == nil {
+		return ""
+	}
+	var parts []string
+	for _, f := range fl.List {
+		typ := exprString(fset, f.Type)
+		if len(f.Names) == 0 {
+			parts = append(parts, typ)
+			continue
+		}
+		for _, n := range f.Names {
+			parts = append(parts, n.Name+" "+typ)
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+// publicAPI renders the exported surface of the package rooted at dir.
+func publicAPI(t *testing.T, dir string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatalf("parse package: %v", err)
+	}
+	pkg, ok := pkgs["synchq"]
+	if !ok {
+		t.Fatalf("package synchq not found in %s (got %v)", dir, pkgs)
+	}
+
+	var lines []string
+	add := func(format string, args ...any) {
+		lines = append(lines, fmt.Sprintf(format, args...))
+	}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() {
+					continue
+				}
+				recv := ""
+				if d.Recv != nil {
+					rt := exprString(fset, d.Recv.List[0].Type)
+					// Skip methods on unexported receivers.
+					base := strings.TrimLeft(rt, "*")
+					if base != "" && !ast.IsExported(strings.SplitN(base, "[", 2)[0]) {
+						continue
+					}
+					recv = "(" + rt + ") "
+				}
+				tparams := ""
+				if d.Recv == nil && d.Type.TypeParams != nil {
+					tparams = "[" + fieldListString(fset, d.Type.TypeParams) + "]"
+				}
+				results := fieldListString(fset, d.Type.Results)
+				if results != "" {
+					if d.Type.Results != nil && (len(d.Type.Results.List) > 1 || len(d.Type.Results.List[0].Names) > 0) {
+						results = " (" + results + ")"
+					} else {
+						results = " " + results
+					}
+				}
+				add("func %s%s%s(%s)%s", recv, d.Name.Name, tparams,
+					fieldListString(fset, d.Type.Params), results)
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if !s.Name.IsExported() {
+							continue
+						}
+						tparams := ""
+						if s.TypeParams != nil {
+							tparams = "[" + fieldListString(fset, s.TypeParams) + "]"
+						}
+						if st, ok := s.Type.(*ast.StructType); ok {
+							add("type %s%s struct", s.Name.Name, tparams)
+							for _, f := range st.Fields.List {
+								typ := exprString(fset, f.Type)
+								tag := ""
+								if f.Tag != nil {
+									tag = " " + f.Tag.Value
+								}
+								if len(f.Names) == 0 {
+									if ast.IsExported(strings.TrimLeft(typ, "*")) {
+										add("type %s%s struct: %s (embedded)%s", s.Name.Name, tparams, typ, tag)
+									}
+									continue
+								}
+								for _, n := range f.Names {
+									if n.IsExported() {
+										add("type %s%s struct: %s %s%s", s.Name.Name, tparams, n.Name, typ, tag)
+									}
+								}
+							}
+						} else {
+							add("type %s%s %s", s.Name.Name, tparams, exprString(fset, s.Type))
+						}
+					case *ast.ValueSpec:
+						for _, n := range s.Names {
+							if !n.IsExported() {
+								continue
+							}
+							kind := "var"
+							if d.Tok == token.CONST {
+								kind = "const"
+							}
+							typ := exprString(fset, s.Type)
+							if typ != "" {
+								typ = " " + typ
+							}
+							add("%s %s%s", kind, n.Name, typ)
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+func TestPublicAPIGolden(t *testing.T) {
+	lines := publicAPI(t, ".")
+	got := strings.Join(lines, "\n") + "\n"
+	golden := filepath.Join("testdata", "api.golden")
+
+	if os.Getenv("UPDATE_API_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s (%d declarations)", golden, len(lines))
+		return
+	}
+
+	wantBytes, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read %s: %v (run UPDATE_API_GOLDEN=1 go test -run TestPublicAPIGolden . to create it)", golden, err)
+	}
+	want := string(wantBytes)
+	if got == want {
+		return
+	}
+	gotSet := make(map[string]bool, len(lines))
+	for _, l := range lines {
+		gotSet[l] = true
+	}
+	wantSet := make(map[string]bool)
+	for _, l := range strings.Split(strings.TrimSuffix(want, "\n"), "\n") {
+		wantSet[l] = true
+	}
+	for l := range wantSet {
+		if !gotSet[l] {
+			t.Errorf("exported API removed or changed:\n  - %s", l)
+		}
+	}
+	for l := range gotSet {
+		if !wantSet[l] {
+			t.Errorf("exported API added:\n  + %s", l)
+		}
+	}
+	t.Error("public API differs from testdata/api.golden; if intentional, regenerate with UPDATE_API_GOLDEN=1 go test -run TestPublicAPIGolden . and review the diff")
+}

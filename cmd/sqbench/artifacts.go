@@ -80,8 +80,11 @@ func artifactJobs() []artifactJob {
 				{label: "queue ns/transfer", path: []string{"summary", "baseline_ns_per_transfer"}},
 				{label: "queue+shard+elim ns/transfer", path: []string{"summary", "sharded_ns_per_transfer"}},
 				{label: "seg ns/transfer", path: []string{"summary", "seg_ns_per_transfer"}},
+				{label: "auto ns/transfer", path: []string{"summary", "auto_ns_per_transfer"}},
 				{label: "shard speedup", path: []string{"summary", "speedup"}},
 				{label: "seg speedup", path: []string{"summary", "seg_speedup"}},
+				{label: "auto speedup", path: []string{"summary", "auto_speedup"}},
+				{label: "auto 1-pair collapse tax", path: []string{"summary", "auto_collapse_tax"}},
 			},
 		},
 		{

@@ -147,14 +147,25 @@ func main() {
 					report.Summary.MaxPairs, report.Summary.SegNs,
 					report.Summary.BaselineNs, report.Summary.SegSpeedup)
 			}
+			if report.Summary.AutoNs > 0 {
+				fmt.Printf("summary: auto at %d pairs: %.0f ns/transfer vs %.0f plain queue (%.2fx)\n",
+					report.Summary.MaxPairs, report.Summary.AutoNs,
+					report.Summary.BaselineNs, report.Summary.AutoSpeedup)
+			}
+			if report.Summary.AutoTax > 0 {
+				fmt.Printf("summary: auto at 1 pair: %.0f ns/transfer vs %.0f plain queue (collapse tax %.2fx, collapsed in %d/%d repeats)\n",
+					report.Summary.Auto1Ns, report.Summary.Baseline1Ns, report.Summary.AutoTax,
+					report.Summary.Auto1Collapsed, report.Repeats)
+			}
 		}
 		if *gate {
 			if err := report.Gate(); err != nil {
 				fmt.Fprintf(os.Stderr, "sqbench: %v\n", err)
 				os.Exit(1)
 			}
-			fmt.Fprintf(os.Stderr, "sqbench: scaling gate passed (shard %.2fx, seg %.2fx at %d pairs)\n",
-				report.Summary.Speedup, report.Summary.SegSpeedup, report.Summary.MaxPairs)
+			fmt.Fprintf(os.Stderr, "sqbench: scaling gate passed (shard %.2fx, seg %.2fx, auto %.2fx, 1-pair tax %.2fx at %d pairs)\n",
+				report.Summary.Speedup, report.Summary.SegSpeedup,
+				report.Summary.AutoSpeedup, report.Summary.AutoTax, report.Summary.MaxPairs)
 		}
 		return
 	}

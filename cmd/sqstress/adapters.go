@@ -219,6 +219,14 @@ func (a fabricChaos) ChaosPollBatch(max int, d time.Duration, cancel <-chan stru
 	return a.f.TakeBatch(nil, max, time.Now().Add(d), cancel)
 }
 
+// widthShifter marks adapters whose fabric can be forced through width
+// transitions; the width-shift scenario oscillates them mid-workload. On
+// a fixed-width fabric ShiftWidth is a no-op, so the scenario degrades to
+// a plain steady run there.
+type widthShifter interface{ ShiftWidth(contended bool) }
+
+func (a fabricChaos) ShiftWidth(contended bool) { a.f.DriveWidth(contended) }
+
 // ---- eliminating composition ----------------------------------------------
 
 // elimChaos alternates the adaptive arena entry points with fixed-patience
@@ -438,10 +446,18 @@ func (a *poolChaos) ChaffStorm(n int) {
 // once. Reports whether the drain was forced.
 func (a *poolChaos) DrainStorm() (forced bool) {
 	release := make(chan struct{})
-	time.AfterFunc(20*time.Millisecond, func() { close(release) })
 	for i := 0; i < 2; i++ {
 		a.submitWedge(release)
 	}
+	// Arm the release only after both wedges are in: submission can retry
+	// through saturation for tens of milliseconds under the race detector,
+	// and a release clock that started before Submit can expire before the
+	// drain context below does — the wedge evaporates and the drain
+	// quiesces gracefully instead of reaching the forced phase. The wedge
+	// must outlive the drain context by a margin wider than any plausible
+	// descheduling gap; Drain itself waits for the released tasks, so the
+	// margin only stretches this scenario, not the pool's rest state.
+	time.AfterFunc(60*time.Millisecond, func() { close(release) })
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
 	defer cancel()
 	res := a.p.Drain(ctx)
@@ -540,6 +556,26 @@ var coreDefs = []coreDef{
 		},
 		build: func(cfg core.WaitConfig) chaosStruct {
 			fab := shard.New(0, func(int) shard.Dual[int64] {
+				return core.NewDualQueue[int64](cfg)
+			}).SetMetrics(cfg.Metrics).SetFault(cfg.Fault)
+			return fabricChaos{fab}
+		},
+	},
+	{
+		// The self-scaling fabric re-picks its effective width from
+		// observed contention; the width-shift scenario additionally
+		// forces it through grow/drain cycles mid-workload so the
+		// activate/drain protocol (and its two fault windows) runs under
+		// every schedule the injector can produce.
+		key: "auto", desc: "self-scaling fabric over fair queues",
+		syncPair: true, cancelable: true, batch: true,
+		classes: []fault.Class{fault.ClassQueue, fault.ClassShard, fault.ClassAutoShard, fault.ClassWait},
+		sometimesCounters: map[metrics.ID]string{
+			metrics.ShardSteals:        "cross-shard-steal",
+			metrics.FabricWidthChanges: "width-shift",
+		},
+		build: func(cfg core.WaitConfig) chaosStruct {
+			fab := shard.NewAuto(0, func(int) shard.Dual[int64] {
 				return core.NewDualQueue[int64](cfg)
 			}).SetMetrics(cfg.Metrics).SetFault(cfg.Fault)
 			return fabricChaos{fab}

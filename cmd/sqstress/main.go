@@ -131,7 +131,7 @@ func main() {
 		procs     = flag.Int("procs", 0, "GOMAXPROCS for the run; 0 keeps the runtime default. Raising it on a small host widens the shard fabric (its width follows GOMAXPROCS), so the cross-shard steal paths get stressed too")
 
 		// Chaos-harness matrix selectors (with -chaos only).
-		coresF      = flag.String("cores", "", "chaos: comma-separated core keys (stack,queue,transfer,sharded,elim,pool); empty = all")
+		coresF      = flag.String("cores", "", "chaos: comma-separated core keys (stack,queue,transfer,seg,sharded,auto,elim,pool); empty = all")
 		optsF       = flag.String("opts", "", "chaos: comma-separated option keys (default,nospin); empty = all")
 		scenariosF  = flag.String("scenarios", "", "chaos: comma-separated scenario names; empty or \"all\" = whole library")
 		scenarioDur = flag.Duration("scenario-duration", 2*time.Second, "chaos: workload duration per scenario")

@@ -158,6 +158,42 @@ var scenarioLib = []scenarioDef{
 		},
 	},
 	{
+		name: "width-shift",
+		desc: "fabric width forced through grow/drain cycles mid-workload",
+		run: func(rc *runCtx, dur time.Duration) {
+			adapter := rc.build()
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			if ws, ok := adapter.(widthShifter); ok {
+				// Oscillate between a saturating contention signal and a
+				// quiet one: each burst walks the controller through its
+				// grow (or hysteresis-paced shrink) transitions, and every
+				// transition runs the real activate/drain protocol — with
+				// live traffic in flight and the injector free to freeze
+				// the grow/drain windows.
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					contended := true
+					for {
+						select {
+						case <-stop:
+							return
+						case <-time.After(150 * time.Microsecond):
+							for i := 0; i < 64; i++ {
+								ws.ShiftWidth(contended)
+							}
+							contended = !contended
+						}
+					}
+				}()
+			}
+			rc.driveWorkload("width-shift", adapter, dur, workloadTuning{}, nil)
+			close(stop)
+			wg.Wait()
+		},
+	},
+	{
 		name:      "batch-partial",
 		desc:      "one consumer against a larger batch: the offer must deliver a prefix-exact partial fill and unwind the rest",
 		batchOnly: true,

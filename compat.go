@@ -1,0 +1,68 @@
+package synchq
+
+// Compatibility shim: the package's original constructor wrappers, kept
+// working forever but superseded by the options API (New /
+// NewEliminatingQueue with the Fair, Sharded, AutoShard, Segmented,
+// Eliminating and Instrument options). New code should use the options
+// API — it composes (one options slice configures the backing structure,
+// the front-end and the instrumentation together) where these wrappers do
+// not. Everything deprecated lives in this one file so the live API
+// surface stays readable; the api_golden_test pins both.
+
+import (
+	"time"
+
+	"synchq/internal/exchanger"
+)
+
+// NewFair returns the paper's fair synchronous queue (nonblocking dual
+// queue): waiting producers and consumers are paired in strict FIFO order.
+//
+// Deprecated: use New with the Fair(true) option, which composes with the
+// rest of the options API (Sharded, Segmented, Instrument, …).
+func NewFair[T any]() *SynchronousQueue[T] { return New[T](Fair(true)) }
+
+// NewUnfair returns the paper's unfair synchronous queue (nonblocking dual
+// stack): the most recently arrived waiter is paired first, which tends to
+// improve cache and scheduling locality.
+//
+// Deprecated: use New with the Fair(false) option (or no options at all —
+// unfair is the default, matching java.util.concurrent.SynchronousQueue).
+func NewUnfair[T any]() *SynchronousQueue[T] { return New[T](Fair(false)) }
+
+// NewEliminating wraps q with a static elimination front-end. patience
+// bounds the arena attempt on each Put/Take (a few microseconds is
+// typical); slots sizes the arena (0 for the platform default).
+//
+// Deprecated: use NewEliminatingQueue with the Eliminating option, which
+// builds the backing queue and the arena from one options slice and lets
+// Instrument cover both. NewEliminating remains for callers that need to
+// wrap an existing queue; it behaves as it always has (the arena inherits
+// q's instrumentation when q has any).
+func NewEliminating[T any](q *SynchronousQueue[T], slots int, patience time.Duration) *EliminatingQueue[T] {
+	if patience <= 0 {
+		patience = 5 * time.Microsecond
+	}
+	return &EliminatingQueue[T]{
+		q:        q,
+		arena:    exchanger.NewArena[T](slots).SetMetrics(q.inst.handle()),
+		patience: patience,
+		m:        q.inst.handle(),
+		inst:     q.inst,
+	}
+}
+
+// NewEliminatingAdaptive wraps q with the self-tuning elimination
+// front-end (see EliminatingAdaptive).
+//
+// Deprecated: use NewEliminatingQueue, whose default front-end is the
+// adaptive one. NewEliminatingAdaptive remains for callers that need to
+// wrap an existing queue.
+func NewEliminatingAdaptive[T any](q *SynchronousQueue[T]) *EliminatingQueue[T] {
+	return &EliminatingQueue[T]{
+		q:     q,
+		arena: exchanger.NewArenaAdaptive[T](0).SetMetrics(q.inst.handle()),
+		m:     q.inst.handle(),
+		inst:  q.inst,
+	}
+}

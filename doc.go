@@ -9,15 +9,23 @@
 //
 // # Queues
 //
-// Two algorithm families are offered:
+// Two algorithm families are offered, selected with the Fair option of New:
 //
-//   - NewFair returns the fair (FIFO) synchronous queue, a nonblocking dual
-//     queue: the longest-waiting producer pairs with the next arriving
-//     consumer and vice versa.
-//   - NewUnfair returns the unfair (LIFO) synchronous queue, a nonblocking
+//   - New(Fair(true)) returns the fair (FIFO) synchronous queue, a
+//     nonblocking dual queue: the longest-waiting producer pairs with the
+//     next arriving consumer and vice versa.
+//   - New() returns the unfair (LIFO) synchronous queue, a nonblocking
 //     dual stack: the most recently arrived waiter pairs first, which
 //     improves locality (hot threads stay hot) at the cost of ordering
 //     guarantees.
+//
+// Further options compose on the same call: Sharded stripes the queue
+// across independent shards with cross-shard steals, AutoShard (or
+// Sharded(0)) lets the fabric pick its own effective width from observed
+// contention, Segmented bounds memory with a segment-backed core, and
+// Instrument attaches counters. The deprecated wrapper constructors
+// (NewFair, NewUnfair, NewEliminating, NewEliminatingAdaptive) remain in
+// compat.go.
 //
 // Both support demand operations (Put/Take block until a counterpart
 // arrives), polar operations (Offer/Poll succeed only if a counterpart is
@@ -32,8 +40,8 @@
 //
 // TransferQueue extends the fair queue with asynchronous puts (the paper's
 // §5 TransferQueue). Exchanger is the elimination-based swap channel the
-// paper's elimination discussion builds on; NewEliminating wraps a
-// synchronous queue with an elimination arena front-end.
+// paper's elimination discussion builds on; NewEliminatingQueue fronts a
+// synchronous queue with an elimination arena.
 //
 // The pool subpackage provides a cached thread pool — the Go analogue of
 // java.util.concurrent.ThreadPoolExecutor over a SynchronousQueue — used by

@@ -157,43 +157,6 @@ func NewEliminatingQueue[T any](opts ...Option) *EliminatingQueue[T] {
 	return e
 }
 
-// NewEliminating wraps q with a static elimination front-end. patience
-// bounds the arena attempt on each Put/Take (a few microseconds is
-// typical); slots sizes the arena (0 for the platform default).
-//
-// Deprecated: use NewEliminatingQueue with the Eliminating option, which
-// builds the backing queue and the arena from one options slice and lets
-// Instrument cover both. NewEliminating remains for callers that need to
-// wrap an existing queue; it behaves as it always has (the arena inherits
-// q's instrumentation when q has any).
-func NewEliminating[T any](q *SynchronousQueue[T], slots int, patience time.Duration) *EliminatingQueue[T] {
-	if patience <= 0 {
-		patience = 5 * time.Microsecond
-	}
-	return &EliminatingQueue[T]{
-		q:        q,
-		arena:    exchanger.NewArena[T](slots).SetMetrics(q.inst.handle()),
-		patience: patience,
-		m:        q.inst.handle(),
-		inst:     q.inst,
-	}
-}
-
-// NewEliminatingAdaptive wraps q with the self-tuning elimination
-// front-end (see EliminatingAdaptive).
-//
-// Deprecated: use NewEliminatingQueue, whose default front-end is the
-// adaptive one. NewEliminatingAdaptive remains for callers that need to
-// wrap an existing queue.
-func NewEliminatingAdaptive[T any](q *SynchronousQueue[T]) *EliminatingQueue[T] {
-	return &EliminatingQueue[T]{
-		q:     q,
-		arena: exchanger.NewArenaAdaptive[T](0).SetMetrics(q.inst.handle()),
-		m:     q.inst.handle(),
-		inst:  q.inst,
-	}
-}
-
 // Metrics returns the instrumentation set attached with the Instrument
 // option (covering both the arena and the backing queue), or nil for an
 // uninstrumented queue.
@@ -204,12 +167,20 @@ func (e *EliminatingQueue[T]) Metrics() *Metrics { return e.inst }
 // for contention relief even on a fair backing queue.
 func (e *EliminatingQueue[T]) Fair() bool { return e.q.Fair() }
 
-// Shards returns the shard count of the backing queue (one unless built
-// with the Sharded option).
+// Shards returns the backing queue's current effective shard width (one
+// unless built with the Sharded or AutoShard option).
 func (e *EliminatingQueue[T]) Shards() int { return e.q.Shards() }
 
-// Adaptive reports whether the arena self-tunes (NewEliminatingAdaptive)
-// rather than using fixed knobs (NewEliminating).
+// MaxShards returns the backing queue's shard-width ceiling.
+func (e *EliminatingQueue[T]) MaxShards() int { return e.q.MaxShards() }
+
+// FabricStats snapshots the backing queue's shard fabric (ok false when
+// the backing queue is unsharded).
+func (e *EliminatingQueue[T]) FabricStats() (FabricStats, bool) { return e.q.FabricStats() }
+
+// Adaptive reports whether the arena self-tunes (the EliminatingAdaptive
+// option, the default front-end) rather than using fixed knobs (the
+// Eliminating option).
 func (e *EliminatingQueue[T]) Adaptive() bool { return e.arena.Adaptive() }
 
 // tryGive makes one arena attempt to hand off v, under whichever patience

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"synchq/internal/metrics"
+	"synchq/internal/shard"
 )
 
 // Metrics is the public instrumentation surface of this package: a
@@ -25,6 +26,7 @@ type Metrics struct {
 
 	mu     sync.Mutex
 	shards []*metrics.Handle // per-shard children of a Sharded queue
+	fabric *fabricHooks      // introspection of the sharded queue built with this Metrics
 }
 
 // NewMetrics returns an empty metrics set, ready to be attached with
@@ -77,6 +79,97 @@ func (m *Metrics) shardHandles() []*metrics.Handle {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return append([]*metrics.Handle(nil), m.shards...)
+}
+
+// setFabric records the sharded queue's introspection hooks so
+// FabricStats is reachable from the Metrics side as well as the queue's.
+// When one Metrics instruments several sharded queues (their counters
+// aggregate), the hooks of the most recently built one win.
+func (m *Metrics) setFabric(h *fabricHooks) {
+	m.mu.Lock()
+	m.fabric = h
+	m.mu.Unlock()
+}
+
+// FabricStats snapshots the sharded fabric of the queue this Metrics
+// instruments — the same snapshot the queue's own FabricStats method
+// returns. ok is false on a nil Metrics, a Metrics not attached to any
+// queue yet, or one attached only to unsharded structures.
+func (m *Metrics) FabricStats() (FabricStats, bool) {
+	if m == nil {
+		return FabricStats{}, false
+	}
+	m.mu.Lock()
+	h := m.fabric
+	m.mu.Unlock()
+	if h == nil {
+		return FabricStats{}, false
+	}
+	return h.stats(), true
+}
+
+// FabricShardStats is one shard's slice of FabricStats.
+type FabricShardStats struct {
+	// Index is the shard's position in the fabric.
+	Index int `json:"index"`
+	// Active reports whether the shard is within the current effective
+	// width (new arrivals may route to it). Inactive shards can still
+	// hold waiters committed before a collapse; they drain through the
+	// ordinary sweep/steal path.
+	Active bool `json:"active"`
+	// Depth gauges the shard's committed demand-path waiters.
+	Depth int64 `json:"depth"`
+	// Steals counts hand-offs completed on this shard by operations homed
+	// elsewhere.
+	Steals int64 `json:"steals"`
+}
+
+// FabricStats is a point-in-time snapshot of a sharded queue's fabric:
+// the effective width against its ceiling, the self-scaling controller's
+// transition count, and the per-shard depth/steal breakdown. Field names
+// (JSON tags) are stable in the same way the metrics counter names are.
+type FabricStats struct {
+	// MaxShards is the constructed shard count — the width ceiling.
+	MaxShards int `json:"max_shards"`
+	// Width is the current effective width (Shards()).
+	Width int `json:"width"`
+	// Adaptive reports whether the width is controller-managed
+	// (AutoShard / Sharded(0)) rather than fixed.
+	Adaptive bool `json:"adaptive"`
+	// WidthChanges counts the controller's width transitions.
+	WidthChanges int64 `json:"width_changes"`
+	// Steals, ProbeMisses and ProbeSkips aggregate the per-shard sweep
+	// counters: completed cross-shard rescues, probes that found a stale
+	// presence hint, and sweeps that passed over a skip-listed shard.
+	Steals      int64 `json:"steals"`
+	ProbeMisses int64 `json:"probe_misses"`
+	ProbeSkips  int64 `json:"probe_skips"`
+	// Shards is the per-shard breakdown, MaxShards entries in index order.
+	Shards []FabricShardStats `json:"shards"`
+}
+
+// fabricStatsFrom converts the internal fabric snapshot to the public
+// type.
+func fabricStatsFrom(s shard.Stats) FabricStats {
+	out := FabricStats{
+		MaxShards:    s.MaxShards,
+		Width:        s.Width,
+		Adaptive:     s.Adaptive,
+		WidthChanges: s.WidthChanges,
+		Steals:       s.Steals,
+		ProbeMisses:  s.ProbeMisses,
+		ProbeSkips:   s.ProbeSkips,
+		Shards:       make([]FabricShardStats, len(s.Shards)),
+	}
+	for i, sh := range s.Shards {
+		out.Shards[i] = FabricShardStats{
+			Index:  sh.Index,
+			Active: sh.Active,
+			Depth:  sh.Depth,
+			Steals: sh.Steals,
+		}
+	}
+	return out
 }
 
 // SampleRate is the latency layer's sampling factor: the structures time

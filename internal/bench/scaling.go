@@ -39,6 +39,15 @@ func newFabricSQ(fair bool) fabricSQ {
 	})}
 }
 
+// newAutoFabricSQ builds the self-scaling fabric: same ceiling as the
+// static stripe, but the effective width follows observed contention —
+// collapsed to one shard at one pair, widening as pairs are added.
+func newAutoFabricSQ() fabricSQ {
+	return fabricSQ{shard.NewAuto(0, func(int) shard.Dual[int64] {
+		return core.NewDualQueue[int64](core.WaitConfig{})
+	})}
+}
+
 // adaptiveElimSQ fronts any pairing surface with a self-tuning elimination
 // arena, mirroring synchq.NewEliminatingAdaptive.
 type adaptiveElimSQ struct {
@@ -64,12 +73,13 @@ func (e adaptiveElimSQ) Take() int64 {
 	return e.q.Take()
 }
 
-// scalingSeries enumerates the ten swept configurations: {stack, queue}
-// × {plain, +elim, +shard, +shard+elim}, plus the segmented core plain
-// and sharded. Names are stable — they are the JSON artifact's series
-// keys.
+// scalingSeries enumerates the twelve swept configurations: {stack,
+// queue} × {plain, +elim, +shard, +shard+elim}, the segmented core plain
+// and sharded, and the self-scaling fabric over the fair queue ("auto")
+// and over segmented shards ("auto+seg"). Names are stable — they are the
+// JSON artifact's series keys.
 func scalingSeries() []Algorithm {
-	series := make([]Algorithm, 0, 10)
+	series := make([]Algorithm, 0, 12)
 	for _, base := range []struct {
 		name string
 		fair bool
@@ -92,6 +102,12 @@ func scalingSeries() []Algorithm {
 		Algorithm{Name: "seg", New: func() SQ { return segq.New[int64](core.WaitConfig{}) }},
 		Algorithm{Name: "seg+shard", New: func() SQ {
 			return fabricSQ{shard.New(0, func(int) shard.Dual[int64] {
+				return segq.New[int64](core.WaitConfig{})
+			})}
+		}},
+		Algorithm{Name: "auto", New: func() SQ { return newAutoFabricSQ() }},
+		Algorithm{Name: "auto+seg", New: func() SQ {
+			return fabricSQ{shard.NewAuto(0, func(int) shard.Dual[int64] {
 				return segq.New[int64](core.WaitConfig{})
 			})}
 		}},
@@ -174,6 +190,21 @@ type ScalingSummary struct {
 	Speedup    float64 `json:"speedup"`                       // BaselineNs / ShardedNs
 	SegNs      float64 `json:"seg_ns_per_transfer,omitempty"` // "seg"
 	SegSpeedup float64 `json:"seg_speedup,omitempty"`         // BaselineNs / SegNs
+	// The self-scaling fabric's two headline numbers: at max pairs it
+	// should ride the stripe (AutoSpeedup vs the plain queue, like the
+	// static series), and at ONE pair it should have collapsed to a single
+	// shard, so its cost over the plain queue — the collapse tax — stays
+	// within a few percent instead of the static stripe's ~25%.
+	AutoNs      float64 `json:"auto_ns_per_transfer,omitempty"` // "auto" at max pairs
+	AutoSpeedup float64 `json:"auto_speedup,omitempty"`         // BaselineNs / AutoNs
+	Baseline1Ns float64 `json:"baseline_1pair_ns,omitempty"`    // "queue" at 1 pair
+	Auto1Ns     float64 `json:"auto_1pair_ns,omitempty"`        // "auto" at 1 pair
+	AutoTax     float64 `json:"auto_collapse_tax,omitempty"`    // Auto1Ns / Baseline1Ns
+	// Auto1Collapsed counts the one-pair auto repeats whose fabric ended
+	// at effective width one — the behavioral record of the collapse the
+	// tax ratio measures in wall-clock terms (see Gate for why both are
+	// kept).
+	Auto1Collapsed int `json:"auto_1pair_collapsed,omitempty"`
 }
 
 // ScalingReport is the JSON document behind BENCH_scaling.json.
@@ -201,6 +232,26 @@ func (r ScalingReport) JSON() ([]byte, error) {
 // overhead. All the gate can honestly demand there is that the overhead
 // stays bounded.
 const gateFloorSingleCPU = 0.35
+
+// gateAutoTax bounds the self-scaling fabric's one-pair collapse tax: at
+// one pair the controller must have folded the fabric to a single shard,
+// so the only residual cost over the plain queue is the fabric's
+// dispatch (one mask load, one summary check). Five percent covers that
+// honestly on real multicore.
+const gateAutoTax = 1.05
+
+// gateAutoTaxSingleCPU is the same bound for hosts with one hardware
+// thread, where the sweep's "pair" is two goroutines timesharing one CPU
+// and every scheduler quantum boundary lands in the measurement (the same
+// convention as gateFloorSingleCPU: single-CPU numbers bound overhead,
+// they do not demonstrate scaling). On such hosts even the plain queue's
+// one-pair cell swings well over 1.5x run to run (the denominator of the
+// tax ratio), so a ratio bound alone cannot be both honest and stable;
+// when the ratio overshoots, the gate falls back to the behavioral check
+// recorded in Auto1Collapsed — a majority of repeats must have finished
+// the cell with the fabric folded back to width one, which is the
+// regression the tax ratio exists to catch.
+const gateAutoTaxSingleCPU = 1.4
 
 // Gate is the coarse regression check `make bench-scaling` enforces: at
 // the maximum pair count, every headline configuration present in the
@@ -232,8 +283,36 @@ func (r ScalingReport) Gate() error {
 				r.Summary.MaxPairs, r.Summary.SegNs, r.Summary.BaselineNs, r.Summary.SegSpeedup, floor, r.NumCPU)
 		}
 	}
+	if r.Summary.AutoNs > 0 && r.Summary.BaselineNs > 0 {
+		checked++
+		if r.Summary.AutoSpeedup < floor {
+			return fmt.Errorf("scaling gate: auto at %d pairs is %.0f ns/transfer vs %.0f plain queue (speedup %.2fx < %.2fx, numcpu=%d)",
+				r.Summary.MaxPairs, r.Summary.AutoNs, r.Summary.BaselineNs, r.Summary.AutoSpeedup, floor, r.NumCPU)
+		}
+	}
+	// The collapse-tax gate: at one pair the self-scaling fabric must be
+	// within gateAutoTax of the plain queue (gateAutoTaxSingleCPU on a
+	// single-CPU host) — the whole point of adaptivity over the static
+	// stripe's fixed ~25% one-pair overhead.
+	if r.Summary.Auto1Ns > 0 && r.Summary.Baseline1Ns > 0 {
+		checked++
+		tax := gateAutoTax
+		if r.NumCPU < 2 {
+			tax = gateAutoTaxSingleCPU
+		}
+		if r.Summary.AutoTax > tax {
+			// Single-CPU fallback: the ratio's denominator is scheduler
+			// noise there, the recorded end widths are not (see
+			// gateAutoTaxSingleCPU).
+			collapsed := r.NumCPU < 2 && r.Summary.Auto1Collapsed*2 >= r.Repeats
+			if !collapsed {
+				return fmt.Errorf("scaling gate: auto at 1 pair is %.0f ns/transfer vs %.0f plain queue (collapse tax %.2fx > %.2fx, collapsed in %d/%d repeats, numcpu=%d)",
+					r.Summary.Auto1Ns, r.Summary.Baseline1Ns, r.Summary.AutoTax, tax, r.Summary.Auto1Collapsed, r.Repeats, r.NumCPU)
+			}
+		}
+	}
 	if checked == 0 {
-		return fmt.Errorf("scaling gate: no checkable pair in the sweep (need \"queue\" plus \"queue+shard+elim\" or \"seg\")")
+		return fmt.Errorf("scaling gate: no checkable pair in the sweep (need \"queue\" plus \"queue+shard+elim\", \"seg\" or \"auto\")")
 	}
 	return nil
 }
@@ -260,12 +339,18 @@ func Scaling(o SweepOpts) (*stats.Table, ScalingReport) {
 		Shards:     shard.DefaultShards(),
 	}
 	cells := make(map[string][]ScalingCell)
+	autoCollapsed := 0
 	for _, level := range o.Levels {
 		for _, a := range series {
 			if o.Progress != nil {
 				o.Progress(0, a.Name+" [scaling]", level)
 			}
-			ns := measure(a, level, level, o.Transfers, o.Repeats)
+			var ns float64
+			if a.Name == "auto" && level == 1 {
+				ns, autoCollapsed = measureAutoCollapse(a, o.Transfers, o.Repeats)
+			} else {
+				ns = measure(a, level, level, o.Transfers, o.Repeats)
+			}
 			t.Set(fmt.Sprint(level), a.Name, ns)
 			cells[a.Name] = append(cells[a.Name], ScalingCell{Pairs: level, NsPerTransfer: ns})
 		}
@@ -297,7 +382,50 @@ func Scaling(o SweepOpts) (*stats.Table, ScalingReport) {
 	if report.Summary.SegNs > 0 {
 		report.Summary.SegSpeedup = report.Summary.BaselineNs / report.Summary.SegNs
 	}
+	report.Summary.AutoNs = last("auto")
+	if report.Summary.AutoNs > 0 {
+		report.Summary.AutoSpeedup = report.Summary.BaselineNs / report.Summary.AutoNs
+	}
+	at1 := func(name string) float64 {
+		for _, s := range report.Series {
+			if s.Name == name {
+				for _, c := range s.Cells {
+					if c.Pairs == 1 {
+						return c.NsPerTransfer
+					}
+				}
+			}
+		}
+		return 0
+	}
+	report.Summary.Baseline1Ns = at1("queue")
+	report.Summary.Auto1Ns = at1("auto")
+	if report.Summary.Auto1Ns > 0 && report.Summary.Baseline1Ns > 0 {
+		report.Summary.AutoTax = report.Summary.Auto1Ns / report.Summary.Baseline1Ns
+		report.Summary.Auto1Collapsed = autoCollapsed
+	}
 	return t, report
+}
+
+// measureAutoCollapse is measure for the self-scaling fabric's one-pair
+// cell: the same timing discipline (repeats runs, minimum ns/transfer),
+// plus a per-repeat record of whether the fabric finished the run folded
+// back to effective width one — the Auto1Collapsed count the single-CPU
+// gate falls back on when the wall-clock tax ratio is noise-dominated.
+func measureAutoCollapse(a Algorithm, transfers int64, repeats int) (float64, int) {
+	best, collapsed := 0.0, 0
+	for r := 0; r < repeats; r++ {
+		q := a.New()
+		res := RunHandoff(q, 1, 1, transfers, nil)
+		if fs, ok := q.(fabricSQ); ok && fs.f.Shards() == 1 {
+			collapsed++
+		}
+		ns := res.NsPerTransfer()
+		if r == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best, collapsed
 }
 
 // ScalingFigure adapts Scaling to the figure registry (table only).

@@ -137,6 +137,11 @@ func (q *DualQueue[T]) PutAllAsync(items []T) (int, Status) {
 				q.recycleChain(first, box)
 				return idx, Closed
 			}
+			if box != nil && first == nil && idx+1 < len(items) {
+				// box came from getBox in the fulfill arm, not from a
+				// peeled chain — items[idx+1:] have no nodes yet.
+				first, last = q.buildChain(items[idx+1:])
+			}
 			if box != nil {
 				// A box peeled for a consumer that vanished: re-head the
 				// chain with a fresh node so the splice carries it.

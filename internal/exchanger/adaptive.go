@@ -6,13 +6,14 @@ import (
 	"time"
 
 	"synchq/internal/metrics"
+	"synchq/internal/spin"
 )
 
 // adaptor is the contention controller of an adaptive elimination arena.
-// It replaces the static NewEliminating knobs (fixed slot count, fixed
+// It replaces the static elimination knobs (fixed slot count, fixed
 // patience) with two quantities tuned online from one cheap signal — an
-// EWMA of CAS races lost per arena attempt, the same calibrator pattern
-// internal/spin uses for the spin-before-park budget:
+// EWMA of CAS races lost per arena attempt, the shared spin.EWMA filter
+// internal/spin also uses for the spin-before-park budget:
 //
 //   - width: how many arena slots are active. One slot when quiet (every
 //     party meets at the main slot, so two lonely parties cannot miss each
@@ -33,7 +34,7 @@ import (
 // words do not false-share with neighbors.
 type adaptor struct {
 	_        [64]byte
-	ewma     atomic.Uint64 // fixed-point lost-races-per-attempt EWMA
+	ewma     spin.EWMA     // lost-races-per-attempt average
 	width    atomic.Uint32 // active arena slots, 1..maxWidth
 	patience atomic.Int64  // per-attempt patience in ns; 0 = collapsed
 	probe    atomic.Uint32 // collapsed-mode attempt counter
@@ -42,10 +43,6 @@ type adaptor struct {
 }
 
 const (
-	// adShift is the fixed-point fraction width of the contention EWMA;
-	// adAlpha makes the smoothing factor α = 1/8.
-	adShift = 8
-	adAlpha = 3
 	// adSigCap bounds one attempt's contribution to the EWMA so a single
 	// pathological attempt cannot saturate the signal.
 	adSigCap = 16
@@ -105,11 +102,9 @@ func (a *adaptor) observe(hit bool, fails int, m *metrics.Handle) {
 	if sig > adSigCap {
 		sig = adSigCap
 	}
-	e := a.ewma.Load()
-	e += (sig << adShift >> adAlpha) - (e >> adAlpha)
-	a.ewma.Store(e)
+	e := a.ewma.Observe(sig)
 
-	w := uint32(1 + (e >> adShift))
+	w := uint32(1 + e)
 	if w > a.maxWidth {
 		w = a.maxWidth
 	}
@@ -129,7 +124,7 @@ func (a *adaptor) observe(hit bool, fails int, m *metrics.Handle) {
 		if p > int64(adCeil) {
 			p = int64(adCeil)
 		}
-	case e>>adShift >= 1:
+	case e >= 1:
 		// Contended miss: the attempt was unlucky, not pointless — hold
 		// at the floor so the arena keeps absorbing what it can.
 		if p < int64(adFloor) {

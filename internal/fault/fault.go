@@ -142,6 +142,18 @@ const (
 	// and the Close eviction sweep, so the partial-fill unwind must
 	// reconcile cells that changed state while the run was frozen.
 	SegBatchPause
+	// ShardGrowPause preempts a self-scaling fabric's controller between
+	// deciding to activate shards and publishing the wider routing mask —
+	// the window in which sweeps still run at the old width while the
+	// contention evidence that triggered the grow keeps accumulating.
+	ShardGrowPause
+	// ShardDrainPause preempts a self-scaling fabric's controller inside
+	// the deactivation window: the narrower routing mask is already
+	// published (no new arrival routes to the retiring shards) but the
+	// presence-bit repair sweep over the retiring shards has not run yet,
+	// so waiters committed there are reachable only through the full-width
+	// summaries the Dekker protocol reloads.
+	ShardDrainPause
 
 	// NumSites is the number of injection sites.
 	NumSites
@@ -176,6 +188,8 @@ var siteNames = [NumSites]string{
 	SegResolvePause:    "seg-resolve-pause",
 	SegCloseRacePause:  "seg-close-race-pause",
 	SegBatchPause:      "seg-batch-pause",
+	ShardGrowPause:     "shard-grow-pause",
+	ShardDrainPause:    "shard-drain-pause",
 }
 
 // String returns the site's stable name.

@@ -32,6 +32,12 @@ const (
 	ClassPool
 	// ClassSeg sites are queried by the segment-backed hand-off core.
 	ClassSeg
+	// ClassAutoShard sites are queried only by a self-scaling fabric's
+	// width controller. They are deliberately not in ClassShard: a
+	// fixed-width fabric never changes width, so registering the
+	// grow/drain windows as Reachable for it would make its coverage
+	// verdict unsatisfiable.
+	ClassAutoShard
 )
 
 // String returns the class's stable name.
@@ -51,6 +57,8 @@ func (c Class) String() string {
 		return "pool"
 	case ClassSeg:
 		return "seg"
+	case ClassAutoShard:
+		return "auto-shard"
 	default:
 		return "invalid"
 	}
@@ -86,6 +94,8 @@ var siteClasses = [NumSites]Class{
 	SegResolvePause:    ClassSeg,
 	SegCloseRacePause:  ClassSeg,
 	SegBatchPause:      ClassSeg,
+	ShardGrowPause:     ClassAutoShard,
+	ShardDrainPause:    ClassAutoShard,
 }
 
 // Class returns the structure class that queries s.

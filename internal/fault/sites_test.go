@@ -9,7 +9,7 @@ func TestEverySiteClassified(t *testing.T) {
 	seen := make(map[Class]int)
 	for _, s := range Sites() {
 		c := s.Class()
-		if c < ClassQueue || c > ClassSeg {
+		if c < ClassQueue || c > ClassAutoShard {
 			t.Fatalf("site %s has invalid class %d", s, c)
 		}
 		seen[c]++
@@ -17,7 +17,7 @@ func TestEverySiteClassified(t *testing.T) {
 	if len(Sites()) != int(NumSites) {
 		t.Fatalf("Sites() returned %d of %d sites", len(Sites()), NumSites)
 	}
-	for c := ClassQueue; c <= ClassSeg; c++ {
+	for c := ClassQueue; c <= ClassAutoShard; c++ {
 		if seen[c] == 0 {
 			t.Fatalf("class %s has no sites — classification table stale", c)
 		}
@@ -26,7 +26,7 @@ func TestEverySiteClassified(t *testing.T) {
 
 func TestSitesOfPartitions(t *testing.T) {
 	total := 0
-	for c := ClassQueue; c <= ClassSeg; c++ {
+	for c := ClassQueue; c <= ClassAutoShard; c++ {
 		total += len(SitesOf(c))
 	}
 	if total != int(NumSites) {

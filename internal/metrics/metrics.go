@@ -128,37 +128,60 @@ const (
 	// this counter evidences that cancellation storms actually reclaim
 	// their segments instead of growing the structure.
 	SegUnlinks
+	// FabricWidth is a gauge: a self-scaling shard fabric's current
+	// effective width (the number of shards new arrivals route to),
+	// written with Set on every width change. Zero when the fabric runs a
+	// fixed width chosen at construction.
+	FabricWidth
+	// FabricWidthChanges counts width transitions of a self-scaling shard
+	// fabric — activations under contention and collapses on quiet
+	// structures both count, so a nonzero delta evidences the controller
+	// actually moved.
+	FabricWidthChanges
+	// ShardProbeMisses counts sweep probes of a presence-flagged shard
+	// that found no waiter behind the hint — the wasted-steal work the
+	// probe-skip policy exists to bound.
+	ShardProbeMisses
+	// ShardProbeSkips counts flagged shards a sweep passed over without
+	// probing because the shard had been observed empty on K consecutive
+	// probes (steal-weighting); periodic re-probes keep skipped shards
+	// from going dark.
+	ShardProbeSkips
 
 	// NumIDs is the number of counters in a Handle.
 	NumIDs
 )
 
 var names = [NumIDs]string{
-	CASFailEnqueue: "cas-fail-enqueue",
-	CASFailFulfill: "cas-fail-fulfill",
-	CASFailClean:   "cas-fail-clean",
-	HelpCollisions: "help-collisions",
-	Spins:          "spins",
-	Parks:          "parks",
-	Unparks:        "unparks",
-	Fulfillments:   "fulfillments",
-	AsyncDeposits:  "async-deposits",
-	Timeouts:       "timeouts",
-	Cancellations:  "cancellations",
-	CleanSweeps:    "clean-sweeps",
-	ClosedWakeups:  "closed-wakeups",
-	NodeAllocs:     "node-allocs",
-	NodeReuses:     "node-reuses",
-	SpinBudget:     "spin-budget",
-	ElimHits:       "elim-hits",
-	ElimMisses:     "elim-misses",
-	ArenaWidth:     "arena-width",
-	ShardSteals:    "shard-steals",
-	TasksShed:      "tasks-shed",
-	TasksRejected:  "tasks-rejected",
-	TasksReturned:  "tasks-returned",
-	CrashLoops:     "crash-loops",
-	SegUnlinks:     "seg-unlinks",
+	CASFailEnqueue:     "cas-fail-enqueue",
+	CASFailFulfill:     "cas-fail-fulfill",
+	CASFailClean:       "cas-fail-clean",
+	HelpCollisions:     "help-collisions",
+	Spins:              "spins",
+	Parks:              "parks",
+	Unparks:            "unparks",
+	Fulfillments:       "fulfillments",
+	AsyncDeposits:      "async-deposits",
+	Timeouts:           "timeouts",
+	Cancellations:      "cancellations",
+	CleanSweeps:        "clean-sweeps",
+	ClosedWakeups:      "closed-wakeups",
+	NodeAllocs:         "node-allocs",
+	NodeReuses:         "node-reuses",
+	SpinBudget:         "spin-budget",
+	ElimHits:           "elim-hits",
+	ElimMisses:         "elim-misses",
+	ArenaWidth:         "arena-width",
+	ShardSteals:        "shard-steals",
+	TasksShed:          "tasks-shed",
+	TasksRejected:      "tasks-rejected",
+	TasksReturned:      "tasks-returned",
+	CrashLoops:         "crash-loops",
+	SegUnlinks:         "seg-unlinks",
+	FabricWidth:        "fabric-width",
+	FabricWidthChanges: "fabric-width-changes",
+	ShardProbeMisses:   "shard-probe-misses",
+	ShardProbeSkips:    "shard-probe-skips",
 }
 
 // String returns the counter's stable snake-ish name (used as expvar map

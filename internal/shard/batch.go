@@ -32,15 +32,17 @@ func (f *Fabric[T]) PutBatch(items []T, deadline time.Time, cancel <-chan struct
 	if f.closedStatus() {
 		return 0, core.Closed
 	}
+	var ss sweepStat
+	defer f.observe(&ss)
 	t0 := f.m.Start()
 	home := f.home()
 	n := 0
 	for n < len(items) {
-		n += f.sweepPutBurst(home, items[n:], t0)
+		n += f.sweepPutBurst(home, items[n:], t0, &ss)
 		if n == len(items) {
 			break
 		}
-		if st := f.put(items[n], deadline, cancel); st != core.OK {
+		if st := f.putEngine(items[n], deadline, cancel, &ss); st != core.OK {
 			return n, st
 		}
 		n++
@@ -60,7 +62,9 @@ func (f *Fabric[T]) TakeBatch(buf []T, max int, deadline time.Time, cancel <-cha
 	if f.closedStatus() {
 		return buf, core.Closed
 	}
-	v, st := f.take(deadline, cancel)
+	var ss sweepStat
+	defer f.observe(&ss)
+	v, st := f.takeEngine(deadline, cancel, &ss)
 	if st != core.OK {
 		return buf, st
 	}
@@ -69,7 +73,7 @@ func (f *Fabric[T]) TakeBatch(buf []T, max int, deadline time.Time, cancel <-cha
 	t0 := f.m.Start()
 	home := f.home()
 	for taken < max {
-		got := f.sweepTakeBurst(home, &buf, max-taken, t0)
+		got := f.sweepTakeBurst(home, &buf, max-taken, t0, &ss)
 		taken += got
 		if got == 0 {
 			break
@@ -85,26 +89,36 @@ func (f *Fabric[T]) TakeBatch(buf []T, max int, deadline time.Time, cancel <-cha
 // holds. It returns the number of items delivered. Burst sweeps are never
 // the commit protocol's critical reload, so the steal-race injection
 // applies to every foreign probe.
-func (f *Fabric[T]) sweepPutBurst(home int, items []T, t0 int64) int {
+func (f *Fabric[T]) sweepPutBurst(home int, items []T, t0 int64, ss *sweepStat) int {
 	n := 0
 	avail := f.cons.Load()
 	for avail != 0 && n < len(items) {
 		i := nearestBit(avail, home)
 		avail &^= 1 << uint(i)
-		if i != home && f.f.FailCAS(fault.ShardStealCAS) {
-			continue
+		if i != home {
+			if f.skipProbe(i, &f.st[i].emptyCons) {
+				continue
+			}
+			if f.f.FailCAS(fault.ShardStealCAS) {
+				continue
+			}
 		}
 		if f.shards[i].HasWaitingConsumer() {
+			resetStreak(&f.st[i].emptyCons)
 			for n < len(items) && f.shards[i].Offer(items[n]) {
 				if i != home {
+					f.st[i].steals.Add(1)
+					ss.stole = true
 					f.m.Inc(metrics.ShardSteals)
 					f.m.Since(metrics.StealNs, t0)
 				}
 				n++
 			}
 		} else {
+			f.noteProbeEmpty(i, &f.st[i].emptyCons)
 			clearBit(&f.cons, 1<<uint(i))
 			if f.shards[i].HasWaitingConsumer() {
+				resetStreak(&f.st[i].emptyCons)
 				setBit(&f.cons, 1<<uint(i))
 				avail |= 1 << uint(i)
 			}
@@ -116,22 +130,30 @@ func (f *Fabric[T]) sweepPutBurst(home int, items []T, t0 int64) int {
 // sweepTakeBurst drains up to max values from flagged producer shards,
 // home-first, polling each shard dry before moving on. It appends to *buf
 // and returns the count taken.
-func (f *Fabric[T]) sweepTakeBurst(home int, buf *[]T, max int, t0 int64) int {
+func (f *Fabric[T]) sweepTakeBurst(home int, buf *[]T, max int, t0 int64, ss *sweepStat) int {
 	n := 0
 	avail := f.prod.Load()
 	for avail != 0 && n < max {
 		i := nearestBit(avail, home)
 		avail &^= 1 << uint(i)
-		if i != home && f.f.FailCAS(fault.ShardStealCAS) {
-			continue
+		if i != home {
+			if f.skipProbe(i, &f.st[i].emptyProd) {
+				continue
+			}
+			if f.f.FailCAS(fault.ShardStealCAS) {
+				continue
+			}
 		}
 		if f.shards[i].HasWaitingProducer() {
+			resetStreak(&f.st[i].emptyProd)
 			for n < max {
 				v, ok := f.shards[i].Poll()
 				if !ok {
 					break
 				}
 				if i != home {
+					f.st[i].steals.Add(1)
+					ss.stole = true
 					f.m.Inc(metrics.ShardSteals)
 					f.m.Since(metrics.StealNs, t0)
 				}
@@ -139,8 +161,10 @@ func (f *Fabric[T]) sweepTakeBurst(home int, buf *[]T, max int, t0 int64) int {
 				n++
 			}
 		} else {
+			f.noteProbeEmpty(i, &f.st[i].emptyProd)
 			clearBit(&f.prod, 1<<uint(i))
 			if f.shards[i].HasWaitingProducer() {
+				resetStreak(&f.st[i].emptyProd)
 				setBit(&f.prod, 1<<uint(i))
 				avail |= 1 << uint(i)
 			}

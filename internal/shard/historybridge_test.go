@@ -184,7 +184,7 @@ func stealScriptEvents(t *testing.T, seed uint64) []fault.Site {
 		}
 		setBit(&f.prod, 1<<uint(shard))
 		home := (shard + 1 + i%3) & f.mask
-		v, ok := f.sweepTake(home, false, 0)
+		v, ok := f.sweepTake(home, false, 0, &sweepStat{})
 		if ok {
 			if v != int64(i) {
 				t.Fatalf("op %d: sweep returned %d", i, v)
@@ -194,7 +194,7 @@ func stealScriptEvents(t *testing.T, seed uint64) []fault.Site {
 		}
 		// The injected lost race skipped the only occupied shard; the
 		// critical sweep must still find it (the no-stranding guarantee).
-		if v, ok := f.sweepTake(home, true, 0); !ok || v != int64(i) {
+		if v, ok := f.sweepTake(home, true, 0, &sweepStat{}); !ok || v != int64(i) {
 			t.Fatalf("op %d: critical sweep = (%d,%v), want (%d,true)", i, v, ok, i)
 		}
 		tkt.TryFollowup()

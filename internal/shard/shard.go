@@ -85,12 +85,25 @@ const errClosedDemand = "synchq: queue closed"
 type Fabric[T any] struct {
 	shards []Dual[T]
 	mask   int
+	// st is the per-shard controller state (probe-skip streaks, depth and
+	// steal gauges), one padded cache line per shard; see adaptive.go.
+	st []shardState
+	// ctl is the self-scaling width controller; nil on fixed-width
+	// fabrics, which then never touch a controller word.
+	ctl *widthCtl
 	// m receives the fabric's counters (ShardSteals; the shards usually
 	// share the same handle so per-shard events aggregate); nil disables.
 	m *metrics.Handle
-	// f injects deterministic faults at the steal-probe site; nil
-	// disables.
+	// f injects deterministic faults at the steal-probe site and the
+	// width controller's grow/drain windows; nil disables.
 	f *fault.Injector
+	// wmask is the effective routing mask: home() draws from
+	// [0, wmask+1). On a fixed-width fabric it equals mask forever; on a
+	// self-scaling one the controller republishes it. Width is a routing
+	// hint only — sweeps, Dekker reloads and Close always cover all
+	// mask+1 shards, which is what makes width changes safe (see
+	// adaptive.go).
+	wmask atomic.Int32
 	// closed is published by Close only after every shard has shut down,
 	// so Closed() never leads the last shard: once a caller observes
 	// Closed()==true, no transfer can complete on any shard — the same
@@ -149,7 +162,8 @@ func New[T any](n int, mk func(i int) Dual[T]) *Fabric[T] {
 	} else {
 		n = ceilPow2(n)
 	}
-	f := &Fabric[T]{shards: make([]Dual[T], n), mask: n - 1}
+	f := &Fabric[T]{shards: make([]Dual[T], n), mask: n - 1, st: make([]shardState, n)}
+	f.wmask.Store(int32(n - 1))
 	for i := range f.shards {
 		f.shards[i] = mk(i)
 	}
@@ -175,17 +189,29 @@ func (f *Fabric[T]) SetFault(inj *fault.Injector) *Fabric[T] {
 // Metrics returns the fabric's instrumentation handle (nil when disabled).
 func (f *Fabric[T]) Metrics() *metrics.Handle { return f.m }
 
-// Shards returns the shard count.
-func (f *Fabric[T]) Shards() int { return len(f.shards) }
+// Shards returns the current effective width: the number of shards new
+// arrivals route to. On a fixed-width fabric this is the constructed
+// count forever; on a self-scaling one (NewAuto) it moves with observed
+// contention, between 1 and MaxShards.
+func (f *Fabric[T]) Shards() int { return int(f.wmask.Load()) + 1 }
+
+// MaxShards returns the number of constructed shards — the self-scaling
+// controller's width ceiling, and the count sweeps and Close always
+// cover.
+func (f *Fabric[T]) MaxShards() int { return len(f.shards) }
 
 // Shard returns shard i (for tests and monitoring).
 func (f *Fabric[T]) Shard(i int) Dual[T] { return f.shards[i] }
 
-// home draws a random home shard. math/rand/v2's global generator is
-// per-P, so striping itself introduces no shared word — the entire point
-// of the fabric.
+// home draws a random home shard within the effective width.
+// math/rand/v2's global generator is per-P, so striping itself introduces
+// no shared word — the entire point of the fabric.
 func (f *Fabric[T]) home() int {
-	return int(rand.Uint64()) & f.mask
+	m := int(f.wmask.Load())
+	if m == 0 {
+		return 0
+	}
+	return int(rand.Uint64()) & m
 }
 
 // sweepPut probes the shards the cons summary flags as holding a waiting
@@ -198,28 +224,48 @@ func (f *Fabric[T]) home() int {
 // t0 is the fabric operation's arrival timestamp (zero when the fabric is
 // uninstrumented); a probe that completes on a non-home shard records the
 // arrival-to-steal latency separately from the shards' own hand-off
-// histograms.
-func (f *Fabric[T]) sweepPut(home int, v T, critical bool, t0 int64) bool {
+// histograms. ss accumulates the operation's contention evidence (lost
+// probe races, completed-as-a-steal) for the width controller.
+//
+// Non-critical sweeps are steal-weighted: a foreign shard observed empty
+// on probeSkipAfter consecutive probes is passed over without probing
+// (with a periodic re-probe), so drained shards stop costing two loads on
+// every sweep of every operation. Critical sweeps never skip — they carry
+// the commit protocol's no-stranding guarantee — and the home shard is
+// never skipped, since it is where the operation would commit anyway.
+func (f *Fabric[T]) sweepPut(home int, v T, critical bool, t0 int64, ss *sweepStat) bool {
 	avail := f.cons.Load()
 	for avail != 0 {
 		i := nearestBit(avail, home)
 		avail &^= 1 << uint(i)
-		if !critical && i != home && f.f.FailCAS(fault.ShardStealCAS) {
-			continue // injected lost steal race: move to the next shard
+		if !critical && i != home {
+			if f.skipProbe(i, &f.st[i].emptyCons) {
+				continue // steal-weighting: shard repeatedly seen drained
+			}
+			if f.f.FailCAS(fault.ShardStealCAS) {
+				continue // injected lost steal race: move to the next shard
+			}
 		}
 		// Check occupancy before probing: a stale hint costs one load here
 		// instead of a full failed hand-off attempt. A linked reservation is
 		// visible to HasWaitingConsumer the instant it is enqueued, so the
 		// critical sweep's no-stranding guarantee survives the shortcut.
 		if f.shards[i].HasWaitingConsumer() {
+			resetStreak(&f.st[i].emptyCons)
 			if f.shards[i].Offer(v) {
 				if i != home {
+					f.st[i].steals.Add(1)
+					ss.stole = true
 					f.m.Inc(metrics.ShardSteals)
 					f.m.Since(metrics.StealNs, t0)
 				}
 				return true
 			}
+			// A waiter was there and another operation claimed it first: a
+			// lost probe race, the contention evidence the width follows.
+			ss.fails++
 		} else {
+			f.noteProbeEmpty(i, &f.st[i].emptyCons)
 			clearBit(&f.cons, 1<<uint(i))
 			// The staleness check and the clear are two steps: a consumer
 			// may link and announce between them, and its announce can be a
@@ -228,6 +274,7 @@ func (f *Fabric[T]) sweepPut(home int, v T, critical bool, t0 int64) bool {
 			// waiter behind it must stay durable, or the commit protocol's
 			// Dekker reload can miss the waiter forever.
 			if f.shards[i].HasWaitingConsumer() {
+				f.st[i].emptyCons.Store(0)
 				setBit(&f.cons, 1<<uint(i))
 				avail |= 1 << uint(i)
 			}
@@ -238,27 +285,38 @@ func (f *Fabric[T]) sweepPut(home int, v T, critical bool, t0 int64) bool {
 
 // sweepTake probes the shards the prod summary flags as holding a waiting
 // producer, starting at home.
-func (f *Fabric[T]) sweepTake(home int, critical bool, t0 int64) (T, bool) {
+func (f *Fabric[T]) sweepTake(home int, critical bool, t0 int64, ss *sweepStat) (T, bool) {
 	avail := f.prod.Load()
 	for avail != 0 {
 		i := nearestBit(avail, home)
 		avail &^= 1 << uint(i)
-		if !critical && i != home && f.f.FailCAS(fault.ShardStealCAS) {
-			continue
+		if !critical && i != home {
+			if f.skipProbe(i, &f.st[i].emptyProd) {
+				continue
+			}
+			if f.f.FailCAS(fault.ShardStealCAS) {
+				continue
+			}
 		}
 		if f.shards[i].HasWaitingProducer() {
+			resetStreak(&f.st[i].emptyProd)
 			if v, ok := f.shards[i].Poll(); ok {
 				if i != home {
+					f.st[i].steals.Add(1)
+					ss.stole = true
 					f.m.Inc(metrics.ShardSteals)
 					f.m.Since(metrics.StealNs, t0)
 				}
 				return v, true
 			}
+			ss.fails++
 		} else {
+			f.noteProbeEmpty(i, &f.st[i].emptyProd)
 			clearBit(&f.prod, 1<<uint(i))
 			// Same check-then-clear repair as sweepPut: restore the hint if
 			// a producer linked between the staleness check and the clear.
 			if f.shards[i].HasWaitingProducer() {
+				f.st[i].emptyProd.Store(0)
 				setBit(&f.prod, 1<<uint(i))
 				avail |= 1 << uint(i)
 			}
@@ -319,11 +377,18 @@ func clearBit(w *atomic.Uint64, bit uint64) {
 //     state costs one reservation and one park, with no timer and no
 //     periodic rescue wakeups.
 func (f *Fabric[T]) put(v T, deadline time.Time, cancel <-chan struct{}) core.Status {
+	var ss sweepStat
+	st := f.putEngine(v, deadline, cancel, &ss)
+	f.observe(&ss)
+	return st
+}
+
+func (f *Fabric[T]) putEngine(v T, deadline time.Time, cancel <-chan struct{}, ss *sweepStat) core.Status {
 	t0 := f.m.Start()
 	home := f.home()
 	critical := false
 	for {
-		if f.sweepPut(home, v, critical, t0) {
+		if f.sweepPut(home, v, critical, t0, ss) {
 			return core.OK
 		}
 		if !deadline.IsZero() && !time.Now().Before(deadline) {
@@ -338,12 +403,17 @@ func (f *Fabric[T]) put(v T, deadline time.Time, cancel <-chan struct{}) core.St
 		if ok {
 			return core.OK
 		}
+		f.st[home].depth.Add(1)
 		bit := uint64(1) << uint(home)
 		setBit(&f.prod, bit)
+		// The announce doubles as the steal-weighting reset: a linked
+		// producer makes the shard worth probing again immediately.
+		resetStreak(&f.st[home].emptyProd)
 		if f.cons.Load() != 0 {
 			// The Dekker reload flags a consumer somewhere. Reclaim the
 			// datum and retry through the sweep; critical from here on —
 			// these probes carry the no-stranding guarantee.
+			f.st[home].depth.Add(-1)
 			if !tkt.Abort() {
 				// A fulfiller took the reservation first.
 				tkt.TryFollowup()
@@ -352,10 +422,14 @@ func (f *Fabric[T]) put(v T, deadline time.Time, cancel <-chan struct{}) core.St
 			if !f.shards[home].HasWaitingProducer() {
 				clearBit(&f.prod, bit)
 			}
+			// Losing the commit to a cross-shard race is contention
+			// evidence just like a lost probe.
+			ss.fails++
 			critical = true
 			continue
 		}
 		_, st = tkt.Await(deadline, cancel)
+		f.st[home].depth.Add(-1)
 		if st != core.OK && !f.shards[home].HasWaitingProducer() {
 			// Our bit may now be stale; drop it so sweeps stay tight.
 			clearBit(&f.prod, bit)
@@ -368,12 +442,19 @@ func (f *Fabric[T]) put(v T, deadline time.Time, cancel <-chan struct{}) core.St
 // that a request reservation holds no datum, so the abort arm collects the
 // value directly when a fulfiller wins the race).
 func (f *Fabric[T]) take(deadline time.Time, cancel <-chan struct{}) (T, core.Status) {
+	var ss sweepStat
+	v, st := f.takeEngine(deadline, cancel, &ss)
+	f.observe(&ss)
+	return v, st
+}
+
+func (f *Fabric[T]) takeEngine(deadline time.Time, cancel <-chan struct{}, ss *sweepStat) (T, core.Status) {
 	t0 := f.m.Start()
 	var zero T
 	home := f.home()
 	critical := false
 	for {
-		if v, ok := f.sweepTake(home, critical, t0); ok {
+		if v, ok := f.sweepTake(home, critical, t0, ss); ok {
 			return v, core.OK
 		}
 		if !deadline.IsZero() && !time.Now().Before(deadline) {
@@ -386,9 +467,12 @@ func (f *Fabric[T]) take(deadline time.Time, cancel <-chan struct{}) (T, core.St
 		if ok {
 			return v, core.OK
 		}
+		f.st[home].depth.Add(1)
 		bit := uint64(1) << uint(home)
 		setBit(&f.cons, bit)
+		resetStreak(&f.st[home].emptyCons)
 		if f.prod.Load() != 0 {
+			f.st[home].depth.Add(-1)
 			if !tkt.Abort() {
 				v, _ := tkt.TryFollowup()
 				return v, core.OK
@@ -396,10 +480,12 @@ func (f *Fabric[T]) take(deadline time.Time, cancel <-chan struct{}) (T, core.St
 			if !f.shards[home].HasWaitingConsumer() {
 				clearBit(&f.cons, bit)
 			}
+			ss.fails++
 			critical = true
 			continue
 		}
 		v, st = tkt.Await(deadline, cancel)
+		f.st[home].depth.Add(-1)
 		if st != core.OK && !f.shards[home].HasWaitingConsumer() {
 			clearBit(&f.cons, bit)
 		}
@@ -456,7 +542,10 @@ func (f *Fabric[T]) TakeDeadline(deadline time.Time, cancel <-chan struct{}) (T,
 
 // Offer transfers v only if a consumer is already waiting on some shard.
 func (f *Fabric[T]) Offer(v T) bool {
-	return f.sweepPut(f.home(), v, false, f.m.Start())
+	var ss sweepStat
+	ok := f.sweepPut(f.home(), v, false, f.m.Start(), &ss)
+	f.observe(&ss)
+	return ok
 }
 
 // OfferTimeout transfers v, waiting up to d for a consumer.
@@ -470,7 +559,10 @@ func (f *Fabric[T]) OfferTimeout(v T, d time.Duration) bool {
 // Poll receives a value only if a producer is already waiting on some
 // shard.
 func (f *Fabric[T]) Poll() (T, bool) {
-	return f.sweepTake(f.home(), false, f.m.Start())
+	var ss sweepStat
+	v, ok := f.sweepTake(f.home(), false, f.m.Start(), &ss)
+	f.observe(&ss)
+	return v, ok
 }
 
 // PollTimeout receives a value, waiting up to d for a producer.
@@ -491,13 +583,15 @@ func (f *Fabric[T]) PollTimeout(d time.Duration) (T, bool) {
 // Await and re-reserve, or use the demand operations. Panics if the fabric
 // is closed, like the unsharded reservation requests.
 func (f *Fabric[T]) ReserveTake() (T, core.Ticket[T], bool) {
+	var ss sweepStat
+	defer f.observe(&ss)
 	t0 := f.m.Start()
 	var zero T
 	home := f.home()
 	bit := uint64(1) << uint(home)
 	critical := false
 	for {
-		if v, ok := f.sweepTake(home, critical, t0); ok {
+		if v, ok := f.sweepTake(home, critical, t0, &ss); ok {
 			return v, nil, true
 		}
 		// Announce early — unlike the demand path, which reserves first and
@@ -507,6 +601,7 @@ func (f *Fabric[T]) ReserveTake() (T, core.Ticket[T], bool) {
 		// waiter and may clear it, which is why the bit is re-established
 		// below once the reservation has actually linked.
 		setBit(&f.cons, bit)
+		resetStreak(&f.st[home].emptyCons)
 		v, tkt, ok := f.shards[home].ReserveTake()
 		if ok {
 			// Paired immediately; drop our announce if it is now stale.
@@ -521,6 +616,7 @@ func (f *Fabric[T]) ReserveTake() (T, core.Ticket[T], bool) {
 		// every producer's sweep (the sweeps restore a set bit they clear
 		// while a waiter is present).
 		setBit(&f.cons, bit)
+		resetStreak(&f.st[home].emptyCons)
 		if f.prod.Load() != 0 {
 			// Dekker reload flags a producer somewhere: it may have
 			// committed to waiting before our announce was visible, so no
@@ -543,16 +639,19 @@ func (f *Fabric[T]) ReserveTake() (T, core.Ticket[T], bool) {
 // ReservePut offers v to a future consumer, with the same shard-pinning
 // contract as ReserveTake.
 func (f *Fabric[T]) ReservePut(v T) (core.Ticket[T], bool) {
+	var ss sweepStat
+	defer f.observe(&ss)
 	t0 := f.m.Start()
 	home := f.home()
 	bit := uint64(1) << uint(home)
 	critical := false
 	for {
-		if f.sweepPut(home, v, critical, t0) {
+		if f.sweepPut(home, v, critical, t0, &ss) {
 			return nil, true
 		}
 		// Early hint; see ReserveTake for the announce/link protocol.
 		setBit(&f.prod, bit)
+		resetStreak(&f.st[home].emptyProd)
 		tkt, ok := f.shards[home].ReservePut(v)
 		if ok {
 			if !f.shards[home].HasWaitingProducer() {
@@ -563,6 +662,7 @@ func (f *Fabric[T]) ReservePut(v T) (core.Ticket[T], bool) {
 		// Linked: re-establish the bit so a clear that raced the pre-link
 		// window cannot leave the pinned reservation invisible.
 		setBit(&f.prod, bit)
+		resetStreak(&f.st[home].emptyProd)
 		if f.cons.Load() != 0 {
 			if !tkt.Abort() {
 				tkt.TryFollowup()

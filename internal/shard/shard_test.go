@@ -293,7 +293,7 @@ func TestStealIsCountedAndPairs(t *testing.T) {
 	setBit(&f.prod, 1<<shard)
 
 	home := (shard + 1) & f.mask
-	v, ok := f.sweepTake(home, false, 0)
+	v, ok := f.sweepTake(home, false, 0, &sweepStat{})
 	if !ok || v != 33 {
 		t.Fatalf("sweepTake(home=%d) = (%d,%v), want (33,true)", home, v, ok)
 	}
@@ -308,7 +308,7 @@ func TestStealIsCountedAndPairs(t *testing.T) {
 	// a steal.
 	tkt2, _ := f.Shard(shard).ReservePut(44)
 	setBit(&f.prod, 1<<shard)
-	if v, ok := f.sweepTake(shard, false, 0); !ok || v != 44 {
+	if v, ok := f.sweepTake(shard, false, 0, &sweepStat{}); !ok || v != 44 {
 		t.Fatalf("home sweep = (%d,%v), want (44,true)", v, ok)
 	}
 	if got := h.Snapshot().Get(metrics.ShardSteals); got != 1 {
@@ -322,7 +322,7 @@ func TestStealIsCountedAndPairs(t *testing.T) {
 func TestSweepClearsStaleBits(t *testing.T) {
 	f := newQueueFabric(4, nil)
 	setBit(&f.prod, 1<<1)
-	if _, ok := f.sweepTake(0, false, 0); ok {
+	if _, ok := f.sweepTake(0, false, 0, &sweepStat{}); ok {
 		t.Fatal("sweep paired on an empty fabric")
 	}
 	if f.prod.Load() != 0 {

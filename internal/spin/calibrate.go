@@ -19,37 +19,30 @@ import "sync/atomic"
 //     pushes the budget toward the ceiling, since a budget that parks
 //     anyway only pays the spin cost on top of the context switch.
 //
-// Signals feed an EWMA (α = 1/8, fixed-point) whose value, clamped to
-// [MaxTimedSpins, MaxUntimedSpins] — the old constants demoted to floor and
-// ceiling — becomes the untimed budget. The timed budget keeps the static
-// policy's 1:16 ratio (timed waits re-check the clock each iteration, so
-// their loop is an order of magnitude more expensive).
+// Signals feed the shared EWMA filter (α = 1/8, fixed-point; see EWMA)
+// whose value, clamped to [MaxTimedSpins, MaxUntimedSpins] — the old
+// constants demoted to floor and ceiling — becomes the untimed budget. The
+// timed budget keeps the static policy's 1:16 ratio (timed waits re-check
+// the clock each iteration, so their loop is an order of magnitude more
+// expensive).
 //
-// The read-modify-write on the EWMA word is deliberately racy: concurrent
-// observers may lose updates, but the budget is a heuristic and every
-// surviving update still moves it toward the recent signal mean. On a
-// uniprocessor the calibrator is inert and both budgets are zero, matching
-// the static policy.
+// The EWMA's racy read-modify-write is fine here: the budget is a
+// heuristic and every surviving update still moves it toward the recent
+// signal mean. On a uniprocessor the calibrator is inert and both budgets
+// are zero, matching the static policy.
 type Calibrator struct {
 	_      [64]byte // keep the hot words off neighbors' cache lines
-	ewma   atomic.Uint64
+	ewma   EWMA
 	budget atomic.Uint32
 	_      [60]byte
 }
-
-// ewmaShift is the fixed-point fraction width of the EWMA accumulator;
-// alphaShift makes α = 1/8.
-const (
-	ewmaShift  = 8
-	alphaShift = 3
-)
 
 // NewCalibrator returns a calibrator whose budget starts at the static
 // ceiling (the pre-adaptive default), adapting downward as evidence
 // accumulates.
 func NewCalibrator() *Calibrator {
 	c := &Calibrator{}
-	c.ewma.Store(MaxUntimedSpins << ewmaShift)
+	c.ewma.Init(MaxUntimedSpins)
 	c.budget.Store(MaxUntimedSpins)
 	return c
 }
@@ -66,10 +59,7 @@ func (c *Calibrator) Observe(spun int, parked bool) {
 	if parked || signal > MaxUntimedSpins {
 		signal = MaxUntimedSpins
 	}
-	e := c.ewma.Load()
-	e += (signal << ewmaShift >> alphaShift) - (e >> alphaShift)
-	c.ewma.Store(e)
-	b := uint32(e >> ewmaShift)
+	b := uint32(c.ewma.Observe(signal))
 	if b < MaxTimedSpins {
 		b = MaxTimedSpins
 	}

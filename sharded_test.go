@@ -60,8 +60,17 @@ func TestShardedOptionRounding(t *testing.T) {
 	if got := New[int](Sharded(3)).Shards(); got != 4 {
 		t.Errorf("Sharded(3) built %d shards, want 4", got)
 	}
-	if got := New[int](Sharded(0)).Shards(); got < 1 {
-		t.Errorf("Sharded(0) built %d shards, want >= 1 (GOMAXPROCS-sized)", got)
+	// Sharded(0) now means adaptive: the fabric starts collapsed at
+	// width 1 with a GOMAXPROCS-sized ceiling.
+	q0 := New[int](Sharded(0))
+	if got := q0.Shards(); got != 1 {
+		t.Errorf("Sharded(0) starts at effective width %d, want 1 (adaptive)", got)
+	}
+	if got := q0.MaxShards(); got < 1 {
+		t.Errorf("Sharded(0) ceiling = %d, want >= 1 (GOMAXPROCS-sized)", got)
+	}
+	if st, ok := q0.FabricStats(); !ok || !st.Adaptive {
+		t.Errorf("Sharded(0) FabricStats = %+v, %v; want adaptive fabric", st, ok)
 	}
 	if got := New[int]().Shards(); got != 1 {
 		t.Errorf("unsharded queue reports Shards() = %d, want 1", got)

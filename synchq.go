@@ -91,12 +91,24 @@ type impl[T any] interface {
 
 // SynchronousQueue is a nonblocking, contention-free synchronous queue. It
 // pairs producers and consumers with no buffering: each Put waits for a
-// Take and vice versa. Construct one with NewFair, NewUnfair, or New.
+// Take and vice versa. Construct one with New (see the Fair, Sharded,
+// AutoShard, Segmented and Instrument options).
 type SynchronousQueue[T any] struct {
-	impl   impl[T]
-	fair   bool
-	shards int
-	inst   *Metrics
+	impl impl[T]
+	fair bool
+	// fab is the sharding introspection surface, nil on unsharded queues.
+	// The hooks close over the fabric without making SynchronousQueue
+	// depend on its element type parameterization.
+	fab  *fabricHooks
+	inst *Metrics
+}
+
+// fabricHooks adapts a shard fabric's introspection surface (effective
+// width, ceiling, stats snapshot) for the queue and Metrics accessors.
+type fabricHooks struct {
+	width func() int
+	max   func() int
+	stats func() FabricStats
 }
 
 var (
@@ -110,6 +122,7 @@ type Option func(*config)
 type config struct {
 	fair      bool
 	sharded   bool
+	autoShard bool
 	segmented bool
 	shards    int
 	wait      core.WaitConfig
@@ -165,14 +178,15 @@ func Segmented() Option {
 
 // Sharded stripes the queue across n independent dual structures (n is
 // rounded up to a power of two and capped at 64, since the fabric's
-// presence summaries are single 64-bit words; pass 0 to size from
-// GOMAXPROCS, with the same cap; the queue's Shards method reports the
-// count actually chosen), trading
+// presence summaries are single 64-bit words), trading
 // global ordering for multi-core scalability: instead of every hand-off
 // contending on one head/tail word, operations are spread across n cache-
 // independent structures, with a work-stealing sweep guaranteeing that a
 // waiter on one shard is still found by counterparts dispatched to any
-// other.
+// other. Sharded(n) with n > 0 is the fixed-width escape hatch — the
+// width never changes; n <= 0 is equivalent to AutoShard, the
+// self-scaling fabric. The queue's Shards method reports the current
+// effective width, MaxShards the ceiling.
 //
 // The ordering contract is relaxed accordingly: with Fair(true), FIFO
 // pairing holds only among waiters on the same shard — two producers
@@ -180,9 +194,23 @@ func Segmented() Option {
 // is NOT relaxed: every transfer still pairs exactly one producer with one
 // consumer, with no buffering. Choose sharding when throughput under heavy
 // multi-core contention matters more than a global arrival order; see
-// DESIGN.md for the steal protocol and its fairness bounds.
+// DESIGN.md for the steal protocol, its fairness bounds, and the
+// self-scaling width controller.
 func Sharded(n int) Option {
-	return func(c *config) { c.sharded, c.shards = true, n }
+	return func(c *config) { c.sharded, c.shards, c.autoShard = true, n, n <= 0 }
+}
+
+// AutoShard selects the self-scaling sharded fabric: the queue is striped
+// like Sharded, but the effective width — how many shards new operations
+// route to — is re-picked continuously from observed contention, between
+// 1 and a GOMAXPROCS-sized ceiling (MaxShards). A quiet queue collapses
+// to effective width 1 and hands off at near-unsharded cost; a contended
+// one activates shards as lost probe races accumulate. Deactivated
+// shards are swept clean through the ordinary commit path, so the
+// synchrony and conservation contracts hold at every width; the ordering
+// relaxation is the same as Sharded's. Equivalent to Sharded(0).
+func AutoShard() Option {
+	return func(c *config) { c.sharded, c.shards, c.autoShard = true, 0, true }
 }
 
 // New returns a synchronous queue configured by opts; with no options it is
@@ -198,7 +226,7 @@ func newFromConfig[T any](c config) *SynchronousQueue[T] {
 	q := &SynchronousQueue[T]{fair: c.fair || c.segmented, inst: c.inst}
 	switch {
 	case c.sharded:
-		fab := shard.New(c.shards, func(i int) shard.Dual[T] {
+		mk := func(i int) shard.Dual[T] {
 			w := c.wait
 			if c.inst != nil {
 				// Each shard records into its own child handle so
@@ -213,13 +241,26 @@ func newFromConfig[T any](c config) *SynchronousQueue[T] {
 				return core.NewDualQueue[T](w)
 			}
 			return core.NewDualStack[T](w)
-		})
-		// Fabric-level events — steal counts, steal latency — go to the
-		// root handle, not to any one shard.
+		}
+		var fab *shard.Fabric[T]
+		if c.autoShard {
+			fab = shard.NewAuto(c.shards, mk)
+		} else {
+			fab = shard.New(c.shards, mk)
+		}
+		// Fabric-level events — steal counts, steal latency, width
+		// changes — go to the root handle, not to any one shard.
 		fab.SetMetrics(c.wait.Metrics)
 		fab.SetFault(c.wait.Fault)
 		q.impl = fab
-		q.shards = fab.Shards()
+		q.fab = &fabricHooks{
+			width: fab.Shards,
+			max:   fab.MaxShards,
+			stats: func() FabricStats { return fabricStatsFrom(fab.Stats()) },
+		}
+		if c.inst != nil {
+			c.inst.setFabric(q.fab)
+		}
 	case c.segmented:
 		q.impl = segq.New[T](c.wait)
 	case c.fair:
@@ -230,27 +271,43 @@ func newFromConfig[T any](c config) *SynchronousQueue[T] {
 	return q
 }
 
-// NewFair returns the paper's fair synchronous queue (nonblocking dual
-// queue): waiting producers and consumers are paired in strict FIFO order.
-func NewFair[T any]() *SynchronousQueue[T] { return New[T](Fair(true)) }
-
-// NewUnfair returns the paper's unfair synchronous queue (nonblocking dual
-// stack): the most recently arrived waiter is paired first, which tends to
-// improve cache and scheduling locality.
-func NewUnfair[T any]() *SynchronousQueue[T] { return New[T](Fair(false)) }
-
 // Fair reports whether this queue pairs waiters in FIFO order (per shard,
 // when sharded — see Sharded for the relaxed global contract).
 func (q *SynchronousQueue[T]) Fair() bool { return q.fair }
 
-// Shards returns the number of independent structures the queue is striped
-// across: one for an unsharded queue, the (power-of-two) shard count for a
-// queue built with the Sharded option.
+// Shards returns the current effective width: the number of independent
+// structures new operations are routed across. It is 1 for an unsharded
+// queue, the constructed (power-of-two) count for Sharded(n) with n > 0,
+// and moves between 1 and MaxShards with observed contention for an
+// AutoShard / Sharded(0) queue.
 func (q *SynchronousQueue[T]) Shards() int {
-	if q.shards < 1 {
+	if q.fab == nil {
 		return 1
 	}
-	return q.shards
+	return q.fab.width()
+}
+
+// MaxShards returns the width ceiling: the number of constructed shards
+// (1 for an unsharded queue). For a fixed-width queue MaxShards equals
+// Shards forever; for a self-scaling one it is the largest width the
+// controller may activate.
+func (q *SynchronousQueue[T]) MaxShards() int {
+	if q.fab == nil {
+		return 1
+	}
+	return q.fab.max()
+}
+
+// FabricStats snapshots the sharded fabric's introspection surface —
+// effective width, width-change count, per-shard depth and steal
+// breakdown. ok is false for an unsharded queue (the zero Stats carries
+// no information there). The same snapshot is reachable from
+// Metrics().FabricStats() on an instrumented queue.
+func (q *SynchronousQueue[T]) FabricStats() (FabricStats, bool) {
+	if q.fab == nil {
+		return FabricStats{}, false
+	}
+	return q.fab.stats(), true
 }
 
 // Metrics returns the instrumentation set attached with the Instrument
